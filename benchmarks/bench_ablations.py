@@ -1,0 +1,148 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+The paper leaves "determining an optimal setting" of the thresholds
+for future work (§3.1); these sweeps characterise the design space:
+
+* ``thresA`` — the diagnoser's adaptation gate;
+* the progress cutoff — the responder's near-completion guard;
+* the checkpoint interval — recovery-log granularity (R1 cost);
+* the decision latency — how fast the response pipeline reacts.
+"""
+
+import functools
+
+import pytest
+
+from repro.config import AdaptivityConfig, EngineConfig, RESPONSE_R1
+from repro.experiments.harness import BaselineCache, execute
+from repro.workloads.scenarios import perturb_ws_cost
+
+PERTURB_10X = functools.partial(perturb_ws_cost, factor=10.0)
+
+
+def run_normalised(baselines, adaptivity, engine_config=None):
+    result = execute("Q1", adaptivity, perturb=PERTURB_10X,
+                     engine_config=engine_config)
+    return baselines.normalised(result, "Q1"), result
+
+
+def test_ablation_thres_a(benchmark):
+    """Too-high thresA never adapts; too-low still converges."""
+    baselines = BaselineCache()
+
+    def sweep():
+        rows = []
+        for thres_a in (0.05, 0.2, 0.6, 5.0):
+            normalised, result = run_normalised(
+                baselines, AdaptivityConfig(thres_a=thres_a))
+            rows.append((thres_a, normalised,
+                         result.stats.adaptations_accepted))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for thres_a, normalised, adaptations in rows:
+        print(f"thresA={thres_a:<5} normalised={normalised:.2f} "
+              f"adaptations={adaptations}")
+    by_threshold = {row[0]: row for row in rows}
+    assert by_threshold[5.0][2] == 0          # gate never opens
+    assert by_threshold[5.0][1] > 2.8         # so no improvement
+    for thres_a in (0.05, 0.2, 0.6):
+        assert by_threshold[thres_a][1] < 2.0
+
+
+def test_ablation_progress_cutoff(benchmark):
+    """An over-eager near-completion guard forfeits the benefit."""
+    baselines = BaselineCache()
+
+    def sweep():
+        rows = []
+        for cutoff in (0.05, 0.5, 0.92):
+            normalised, result = run_normalised(
+                baselines, AdaptivityConfig(progress_cutoff=cutoff))
+            rows.append((cutoff, normalised,
+                         result.stats.adaptations_accepted,
+                         result.stats.skipped_near_completion))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for cutoff, normalised, accepted, skipped in rows:
+        print(f"cutoff={cutoff:<5} normalised={normalised:.2f} "
+              f"accepted={accepted} skipped={skipped}")
+    by_cutoff = {row[0]: row for row in rows}
+    assert by_cutoff[0.05][2] == 0            # everything looks "done"
+    assert by_cutoff[0.05][3] >= 1
+    assert by_cutoff[0.92][1] < by_cutoff[0.05][1] / 1.5
+
+
+def test_ablation_checkpoint_interval(benchmark):
+    """Sparser checkpoints mean larger logs but similar quality."""
+    baselines = BaselineCache()
+
+    def sweep():
+        rows = []
+        for interval in (10, 50, 200):
+            adaptivity = AdaptivityConfig(response=RESPONSE_R1)
+            engine = EngineConfig(checkpoint_interval=interval,
+                                  logging_enabled=True)
+            normalised, result = run_normalised(baselines, adaptivity,
+                                                engine_config=engine)
+            rows.append((interval, normalised, result.stats.tuples_moved))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for interval, normalised, moved in rows:
+        print(f"checkpoint={interval:<4} normalised={normalised:.2f} "
+              f"moved={moved}")
+    for _interval, normalised, moved in rows:
+        assert normalised < 2.0
+        assert moved > 0
+    # Sparser checkpointing leaves more unacknowledged tuples to move.
+    assert rows[-1][2] >= rows[0][2]
+
+
+def test_ablation_window_size(benchmark):
+    """The trimmed window smooths noise; size barely matters when the
+    perturbation is stable."""
+    baselines = BaselineCache()
+
+    def sweep():
+        rows = []
+        for window in (5, 25, 60):
+            normalised, result = run_normalised(
+                baselines, AdaptivityConfig(window_size=window))
+            rows.append((window, normalised,
+                         result.stats.adaptations_accepted))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for window, normalised, adaptations in rows:
+        print(f"window={window:<3} normalised={normalised:.2f} "
+              f"adaptations={adaptations}")
+    values = [normalised for _w, normalised, _a in rows]
+    assert max(values) - min(values) < 0.3
+    assert all(adaptations >= 1 for _w, _n, adaptations in rows)
+
+
+def test_ablation_decision_latency(benchmark):
+    """Slower decisions leave more backlog on the slow machine."""
+    baselines = BaselineCache()
+
+    def sweep():
+        rows = []
+        for latency in (0.0, 3300.0, 8000.0):
+            normalised, _result = run_normalised(
+                baselines, AdaptivityConfig(decision_latency_ms=latency))
+            rows.append((latency, normalised))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for latency, normalised in rows:
+        print(f"latency={latency:<7} normalised={normalised:.2f}")
+    values = [normalised for _latency, normalised in rows]
+    assert values[0] <= values[1] <= values[2]
+    assert values[2] < 3.0  # still far better than the static 3.5x

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 2(a) — Q1 prospective adaptations at 10/20/30x.
+
+Paper series: disabled 3.53/6.66/9.76, enabled 1.45/2.48/3.79.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2a(report_runner):
+    report = report_runner(fig2.run_fig2a)
+    disabled = [row[1] for row in report.rows]
+    enabled = [row[2] for row in report.rows]
+
+    # The static system degrades steeply and monotonically.
+    assert disabled[0] < disabled[1] < disabled[2]
+    assert 2.8 < disabled[0] < 4.3     # paper 3.53
+    assert 8.0 < disabled[2] < 12.0    # paper 9.76
+
+    # The adaptive system degrades far more slowly, also monotonic.
+    assert enabled[0] < enabled[1] < enabled[2]
+    assert enabled[2] < 5.0            # paper 3.79
+
+    # The improvement is significant consistently (paper: >2x at every
+    # perturbation size).
+    for without, with_ad in zip(disabled, enabled):
+        assert with_ad < without / 2

@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 2(b) — Q1 under the policy matrix {A1-R2, A1-R1,
+A2-R2} at 10/20/30x.
+
+Paper shapes: A1 beats A2 for the same response type (pipelining hides
+communication), and retrospective bars stay roughly flat while
+prospective ones grow with the perturbation.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2b(report_runner):
+    report = report_runner(fig2.run_fig2b)
+    a1_r2 = [row[1] for row in report.rows]
+    a1_r1 = [row[2] for row in report.rows]
+    a2_r2 = [row[3] for row in report.rows]
+
+    # (i) Taking pipelining into account (A1) is never worse than A2.
+    for a1, a2 in zip(a1_r2, a2_r2):
+        assert a1 <= a2 * 1.05
+
+    # (ii) Retrospective beats prospective at larger perturbations.
+    assert a1_r1[1] < a1_r2[1]
+    assert a1_r1[2] < a1_r2[2]
+
+    # (iii) Retrospective bars remain similar across perturbations.
+    assert max(a1_r1) / min(a1_r1) < 1.5
+    # ... while prospective grows substantially.
+    assert a1_r2[2] / a1_r2[0] > 1.8

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 3(a) — Q2 retrospective adaptations with sleeps of
+10/50/100 ms per join tuple.
+
+Paper shape: the static join degrades with the sleep size while the
+retrospective bars stay roughly flat (better scalability, performance
+less dependent on the perturbation).
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3a(report_runner):
+    report = report_runner(fig3.run_fig3a)
+    disabled = [row[1] for row in report.rows]
+    enabled = [row[2] for row in report.rows]
+
+    # Static degradation grows steeply with the sleep.
+    assert disabled[0] < disabled[1] < disabled[2]
+    assert 1.4 < disabled[0] < 2.4        # paper 1.71 at 10 ms
+    assert disabled[2] > 5.0              # order-of-magnitude at 100 ms
+
+    # Retrospective adaptation keeps the join near its balanced time
+    # and is insensitive to the perturbation size.
+    assert max(enabled) / min(enabled) < 1.5
+    assert enabled[0] < disabled[0]
+    assert enabled[2] < disabled[2] / 3

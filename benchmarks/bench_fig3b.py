@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 3(b) — Q1 with 6000 tuples, prospective adaptations.
+
+Paper shape: with double the data the prospective results are "very
+close to those when adaptations are retrospective" and better than the
+3000-tuple prospective results, because proportionally fewer tuples
+were distributed before the adaptation took effect.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3b(report_runner):
+    report = report_runner(fig3.run_fig3b)
+    disabled = [row[1] for row in report.rows]
+    enabled = [row[2] for row in report.rows]
+    at_3000 = [row[3] for row in report.rows]
+
+    # The static degradation is unchanged by data size.
+    assert 2.8 < disabled[0] < 4.3
+    assert 8.0 < disabled[2] < 12.0
+
+    # Doubling the dataset improves every prospective point over its
+    # 3000-tuple counterpart.
+    for doubled, single in zip(enabled, at_3000):
+        assert doubled < single
+
+    # And the improvement over the static system grows accordingly.
+    assert enabled[2] < disabled[2] / 4

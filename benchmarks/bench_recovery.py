@@ -1,0 +1,17 @@
+"""Benchmark: failure recovery cost (extension experiment).
+
+Losing an evaluation machine mid-query must never lose results, and —
+because detection and replay overlap the data feed — costs little
+while a spare is available.
+"""
+
+from repro.experiments import recovery
+
+
+def test_recovery(report_runner):
+    report = report_runner(recovery.run)
+    for _when, normalised, recovered, replayed, results in report.rows:
+        assert results == 3000          # exactly-once, always
+        assert recovered == 1
+        assert replayed > 0
+        assert normalised < 1.5         # modest cost with a spare

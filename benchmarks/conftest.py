@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures via
+``pytest-benchmark`` (a single round: the simulation is deterministic,
+so repetition adds nothing but wall time), prints the paper-vs-measured
+rows, and asserts the *shape* the paper reports — who wins, by roughly
+what factor — rather than exact values.
+"""
+
+import pytest
+
+from repro.experiments.report import render
+
+
+def run_report(benchmark, experiment):
+    """Benchmark one experiment function; returns its report."""
+    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(render(report))
+    return report
+
+
+@pytest.fixture
+def report_runner(benchmark):
+    def runner(experiment):
+        return run_report(benchmark, experiment)
+    return runner

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Building a custom Grid deployment from the public API.
+
+DemoGrid reproduces the paper's testbed; this example assembles its own
+world instead: a heterogeneous pool of four compute machines (one twice
+as fast), two custom tables on separate data hosts, a user-defined Web
+Service operation, and a query that exercises a filter, the join and
+the WS call machinery together.
+"""
+
+import random
+
+from repro import (
+    AdaptivityConfig,
+    Column,
+    GridContext,
+    GridDataService,
+    QueryProcessor,
+    Relation,
+    Schema,
+    WebServiceOperation,
+)
+
+
+def build_tables(rng):
+    """A tiny order/customer schema with skewed join keys."""
+    customers = Relation.from_values(
+        "customers",
+        Schema([Column("cid", "str", 12), Column("region", "str", 8)]),
+        [(f"c{i:04d}", rng.choice(["EU", "US", "APAC"]))
+         for i in range(400)])
+    orders = Relation.from_values(
+        "orders",
+        Schema([Column("cid", "str", 12), Column("amount", "int")]),
+        [(f"c{rng.randrange(400):04d}", rng.randrange(1, 500))
+         for _ in range(1500)])
+    return customers, orders
+
+
+def main():
+    context = GridContext(seed=7)
+    context.add_machine("coordinator", compute=False)
+    context.add_machine("warehouse-a", compute=False)
+    context.add_machine("warehouse-b", compute=False)
+    # A heterogeneous pool: node-1 has twice the nominal speed, so the
+    # optimizer starts it with twice the workload share.
+    speeds = {"node-1": 2.0, "node-2": 1.0, "node-3": 1.0, "node-4": 1.0}
+    for name, speed in speeds.items():
+        context.add_machine(name, speed=speed)
+
+    customers, orders = build_tables(random.Random(7))
+    gds_map = {
+        "customers": GridDataService(context, "warehouse-a", customers,
+                                     access_work_per_tuple=1.0),
+        "orders": GridDataService(context, "warehouse-b", orders,
+                                  access_work_per_tuple=0.5),
+    }
+    taxed = WebServiceOperation("TaxAssessor",
+                                lambda amount: round(amount * 1.21, 2),
+                                base_work_ms=2.0)
+    taxed.register(context.registry, list(speeds))
+    processor = QueryProcessor(context, gds_map,
+                               {taxed.name: taxed}, "coordinator")
+
+    query = ("select TaxAssessor(o.amount) from customers c, orders o "
+             "where o.cid = c.cid and c.region = 'EU'")
+    print("query:", query)
+    result = processor.run(query, AdaptivityConfig(), degree=4)
+    print(f"results: {result.stats.result_count} rows in "
+          f"{result.response_time_ms / 1000.0:.2f} s simulated")
+    print(f"initial shares follow machine speed: "
+          f"{result.stats.tuples_per_consumer}")
+    sample = [v[0] for v in result.values()[:5]]
+    print("first taxed amounts:", sample)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Repartitioning a hash join's state at runtime (the paper's Q2).
+
+The join of protein interactions with protein sequences is partitioned
+by hash across two machines; mid-query, one machine starts sleeping
+10 ms before every join tuple.  With the retrospective (R1) response,
+the Responder re-assigns hash buckets and the exchange producers
+replay the affected build *and* probe tuples out of their recovery
+logs — operator state is recreated on the faster machine, and result
+correctness is preserved end to end.
+"""
+
+from repro import AdaptivityConfig, DemoGrid, Q2, perturb_join_sleep
+from repro.config import RESPONSE_R1
+from repro.experiments.harness import engine_config_for
+
+
+def run(adaptivity, sleep_ms):
+    grid = DemoGrid(engine_config=engine_config_for(adaptivity))
+    if sleep_ms:
+        perturb_join_sleep(grid, sleep_ms)
+    return grid.run(Q2, adaptivity)
+
+
+def main():
+    print("Q2:", Q2)
+    print()
+    retrospective = AdaptivityConfig(response=RESPONSE_R1)
+
+    baseline = run(AdaptivityConfig.disabled(), sleep_ms=0.0)
+    static = run(AdaptivityConfig.disabled(), sleep_ms=10.0)
+    adaptive = run(retrospective, sleep_ms=10.0)
+
+    base_s = baseline.response_time_ms / 1000.0
+    print(f"balanced join:                 {base_s:6.2f} s "
+          f"({baseline.stats.result_count} results)")
+    print(f"one machine sleeping, static:  "
+          f"{static.response_time_ms / 1000.0:6.2f} s "
+          f"({static.response_time_ms / baseline.response_time_ms:.2f}x)")
+    print(f"one machine sleeping, R1:      "
+          f"{adaptive.response_time_ms / 1000.0:6.2f} s "
+          f"({adaptive.response_time_ms / baseline.response_time_ms:.2f}x)")
+    print()
+    stats = adaptive.stats
+    print("what the adaptive run did:")
+    print(f"  rebalancing decisions accepted: {stats.adaptations_accepted}")
+    print(f"  tuples replayed from recovery logs: {stats.tuples_moved}")
+    print(f"  duplicate results suppressed by provenance: "
+          f"{stats.duplicates_dropped}")
+    print(f"  final tuples per machine: {stats.tuples_per_consumer}")
+    assert (sorted(v[0] for v in adaptive.values())
+            == sorted(v[0] for v in static.values())), \
+        "adaptive and static runs must return identical results"
+    print("  result equality with the static run: verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Adapting to rapidly changing resource performance (paper Fig. 5).
+
+Instead of a stable perturbation, the WS cost factor on one machine is
+drawn per tuple from a normal distribution with mean 30x — over wider
+and wider ranges, up to [1x, 60x].  The windowed, trimmed averaging in
+the MonitoringEventDetector smooths the noise, so the adaptive system
+performs almost identically to the stable-30x case.
+"""
+
+from repro import (
+    AdaptivityConfig,
+    DemoGrid,
+    Q1,
+    perturb_ws_cost,
+    perturb_ws_cost_varying,
+)
+from repro.config import RESPONSE_R1
+from repro.experiments.harness import engine_config_for
+
+
+def run(perturb):
+    adaptivity = AdaptivityConfig(response=RESPONSE_R1)
+    grid = DemoGrid(engine_config=engine_config_for(adaptivity))
+    perturb(grid)
+    return grid.run(Q1, adaptivity)
+
+
+def main():
+    baseline = DemoGrid().run(Q1, AdaptivityConfig.disabled())
+    base_ms = baseline.response_time_ms
+
+    stable = run(lambda g: perturb_ws_cost(g, 30.0))
+    print(f"stable 30x:       "
+          f"{stable.response_time_ms / base_ms:5.2f}x of balanced "
+          f"({stable.stats.adaptations_accepted} adaptations)")
+    for low, high in ((25.0, 35.0), (20.0, 40.0), (1.0, 60.0)):
+        result = run(lambda g: perturb_ws_cost_varying(g, low, high))
+        print(f"varying [{low:.0f},{high:.0f}]: "
+              f"{result.response_time_ms / base_ms:5.2f}x of balanced "
+              f"({result.stats.adaptations_accepted} adaptations)")
+    print()
+    print("The varying rows stay within a few percent of the stable "
+          "one: the system adapts efficiently to rapid changes.")
+
+
+if __name__ == "__main__":
+    main()

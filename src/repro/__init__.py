@@ -1,0 +1,96 @@
+"""repro — adaptive Grid query processing, reproduced.
+
+A faithful, fully simulated reproduction of Gounaris et al.,
+*Adapting to Changing Resource Performance in Grid Query Processing*
+(VLDB DMG 2005): a service-oriented distributed query processor
+(OGSA-DQP analog) whose intra-operator parallelism rebalances at
+runtime through the paper's monitor/assess/respond architecture.
+
+Quickstart::
+
+    from repro import AdaptivityConfig, DemoGrid, Q1, perturb_ws_cost
+
+    grid = DemoGrid()
+    perturb_ws_cost(grid, factor=10.0)          # one machine 10x slower
+    result = grid.run(Q1, AdaptivityConfig())   # adaptive run
+    print(result.response_time_ms, result.stats.adaptations_accepted)
+"""
+
+from repro.config import (
+    ASSESSMENT_A1,
+    ASSESSMENT_A2,
+    AdaptivityConfig,
+    CostModel,
+    EngineConfig,
+    FaultToleranceConfig,
+    RESPONSE_R1,
+    RESPONSE_R2,
+)
+from repro.data import Column, Relation, Row, Schema
+from repro.dqp import QueryProcessor, QueryResult, QueryStatistics
+from repro.errors import ReproError
+from repro.grid import (
+    CostFactor,
+    GridContext,
+    JitterFactor,
+    Machine,
+    SleepInjection,
+    StochasticCostFactor,
+)
+from repro.services import (
+    GridDataService,
+    WebServiceOperation,
+    make_entropy_analyser,
+    shannon_entropy,
+)
+from repro.telemetry import Tracer, format_timeline
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+    perturb_ws_cost_varying,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASSESSMENT_A1",
+    "ASSESSMENT_A2",
+    "AdaptivityConfig",
+    "Column",
+    "CostFactor",
+    "CostModel",
+    "DemoGrid",
+    "DemoGridSpec",
+    "EngineConfig",
+    "FaultToleranceConfig",
+    "GridContext",
+    "GridDataService",
+    "JitterFactor",
+    "Machine",
+    "Q1",
+    "Q2",
+    "QueryProcessor",
+    "QueryResult",
+    "QueryStatistics",
+    "RESPONSE_R1",
+    "RESPONSE_R2",
+    "Relation",
+    "ReproError",
+    "Row",
+    "Schema",
+    "SleepInjection",
+    "Tracer",
+    "StochasticCostFactor",
+    "WebServiceOperation",
+    "make_entropy_analyser",
+    "perturb_join_sleep",
+    "perturb_ws_cost",
+    "perturb_ws_cost_varying",
+    "format_timeline",
+    "shannon_entropy",
+    "__version__",
+]

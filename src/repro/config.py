@@ -1,0 +1,206 @@
+"""Configuration objects for the engine and the adaptivity stack.
+
+Defaults reproduce the paper's "default configuration" (§3.1):
+monitoring frequency of one M1 notification per 10 tuples and one M2
+per buffer, a 25-event averaging window, and 20% thresholds for both
+the detector (``thres_m``) and the diagnoser (``thres_a``).  "All these
+values and thresholds are configurable for any component" — as here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+#: Assessment policies (§3.1): A1 ignores communication cost, A2 adds
+#: the per-tuple communication cost of the feeding producers.
+ASSESSMENT_A1 = "A1"
+ASSESSMENT_A2 = "A2"
+
+#: Response policies (§3.1): R1 redistributes the recovery logs
+#: (retrospective), R2 only redirects future tuples (prospective).
+RESPONSE_R1 = "R1"
+RESPONSE_R2 = "R2"
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptivityConfig:
+    """Tuning knobs for the monitor/assess/respond pipeline."""
+
+    #: Master switch; False reproduces the static OGSA-DQP system.
+    enabled: bool = True
+    #: M1 notification every this many tuples produced (0 disables
+    #: monitoring entirely, as in the overhead experiments).
+    m1_interval: int = 10
+    #: Sliding-window length in the MonitoringEventDetector.
+    window_size: int = 25
+    #: Events needed before the detector's first notification.
+    min_window_events: int = 1
+    #: Relative change of the windowed average that triggers a
+    #: detector -> diagnoser notification (thresM).
+    thres_m: float = 0.20
+    #: Relative per-element weight change that triggers a
+    #: diagnoser -> responder proposal (thresA).
+    thres_a: float = 0.20
+    #: Assessment policy: A1 or A2.
+    assessment: str = ASSESSMENT_A1
+    #: Response policy: R1 (retrospective) or R2 (prospective).
+    response: str = RESPONSE_R2
+    #: The responder skips adaptations once the producers report this
+    #: fraction of tuples already distributed (progress estimation [7]).
+    progress_cutoff: float = 0.92
+    #: Minimum time between accepted adaptations.
+    cooldown_ms: float = 500.0
+    #: Time the Responder spends estimating progress before deciding:
+    #: the SQL-progress-estimation of [7] plus the SOAP round trips of
+    #: a 2005 Grid-service stack are not free.
+    decision_latency_ms: float = 3300.0
+    #: Bucket count for hash-partitioned (stateful) subplans.
+    hash_buckets: int = 256
+
+    def __post_init__(self) -> None:
+        if self.assessment not in (ASSESSMENT_A1, ASSESSMENT_A2):
+            raise ConfigurationError(
+                f"unknown assessment policy: {self.assessment}")
+        if self.response not in (RESPONSE_R1, RESPONSE_R2):
+            raise ConfigurationError(
+                f"unknown response policy: {self.response}")
+        if self.m1_interval < 0:
+            raise ConfigurationError(
+                f"m1_interval must be >= 0: {self.m1_interval}")
+        if self.window_size < 3:
+            raise ConfigurationError(
+                f"window_size must be >= 3 for trimmed averaging: "
+                f"{self.window_size}")
+        if not 0 < self.min_window_events <= self.window_size:
+            raise ConfigurationError(
+                f"min_window_events must be in (0, window_size]: "
+                f"{self.min_window_events}")
+        if self.thres_m < 0 or self.thres_a < 0:
+            raise ConfigurationError("thresholds must be non-negative")
+        if not 0 < self.progress_cutoff <= 1:
+            raise ConfigurationError(
+                f"progress_cutoff must be in (0, 1]: {self.progress_cutoff}")
+        if self.hash_buckets < 1:
+            raise ConfigurationError(
+                f"hash_buckets must be >= 1: {self.hash_buckets}")
+
+    @property
+    def retrospective(self) -> bool:
+        """True when the response policy recreates state (R1)."""
+        return self.response == RESPONSE_R1
+
+    def replace(self, **changes) -> "AdaptivityConfig":
+        """A copy with some fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def disabled(cls) -> "AdaptivityConfig":
+        """The static (non-adaptive) configuration."""
+        return cls(enabled=False)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Failure detection and recovery parameters.
+
+    The paper's response stage reuses infrastructure "developed mainly
+    to attain fault tolerance" [18]; with ``enabled`` the system also
+    exercises that original purpose: GQESs heartbeat to the GDQS, and
+    a missed deadline triggers re-creation of the lost evaluators on a
+    replacement machine with recovery-log replay.
+    """
+
+    enabled: bool = False
+    heartbeat_interval_ms: float = 500.0
+    #: A GQES silent for this long is declared failed.
+    failure_timeout_ms: float = 1600.0
+    #: Timeout for the Responder's/GDQS's service calls so a crashed
+    #: peer cannot hang a control interaction forever.
+    call_timeout_ms: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_ms <= 0:
+            raise ConfigurationError(
+                f"heartbeat interval must be positive: "
+                f"{self.heartbeat_interval_ms}")
+        if self.failure_timeout_ms <= self.heartbeat_interval_ms:
+            raise ConfigurationError(
+                "failure timeout must exceed the heartbeat interval")
+        if self.call_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"call timeout must be positive: {self.call_timeout_ms}")
+
+    def replace(self, **changes) -> "FaultToleranceConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Query-engine execution parameters."""
+
+    #: Tuples per exchange buffer (one M2 event per buffer sent).
+    buffer_size: int = 50
+    #: Checkpoint tuples inserted every this many data tuples per
+    #: channel (the fault-tolerance granularity of [18]).
+    checkpoint_interval: int = 50
+    #: Whether recovery logging is active.  Retrospective response
+    #: requires it; it is the source of R1's extra overhead.
+    logging_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < 1:
+            raise ConfigurationError(
+                f"buffer_size must be >= 1: {self.buffer_size}")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1: "
+                f"{self.checkpoint_interval}")
+
+    def replace(self, **changes) -> "EngineConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """CPU work constants (ms at speed 1.0) for engine activities.
+
+    Calibrated in :mod:`repro.workloads.scenarios` so the static system
+    reproduces the paper's anchor measurements (e.g. a 10x WS
+    perturbation degrading Q1 by ~3.5x).
+    """
+
+    #: Generic per-tuple scan cost added on top of each Grid Data
+    #: Service's own ``access_work_per_tuple`` (usually 0: access costs
+    #: are table-specific).
+    scan_work_per_tuple: float = 0.0
+    #: Operation-call plumbing per invocation (excludes the WS work).
+    opcall_overhead_work: float = 0.3
+    #: Hash-join build cost per tuple.
+    join_build_work: float = 0.35
+    #: Hash-join probe cost per tuple (per input tuple, not per match).
+    join_probe_work: float = 0.6
+    #: Projection / selection costs per tuple.
+    project_work: float = 0.02
+    select_work: float = 0.03
+    #: Result collection cost per tuple at the sink.
+    sink_work: float = 0.05
+    #: Self-monitoring instrumentation cost per tuple (paper [10]:
+    #: "very low overhead").
+    instrument_work_per_tuple: float = 0.2
+    #: Cost to assemble and emit one raw monitoring event.
+    monitor_event_work: float = 0.5
+    #: Detector/diagnoser/responder processing cost per notification.
+    control_event_work: float = 0.5
+    #: Recovery-log append per tuple (R1 logging overhead); the
+    #: per-byte part models copying the outgoing data into the log.
+    log_append_work: float = 0.1
+    log_append_work_per_byte: float = 0.0012
+    #: Recovery-log extraction per tuple during retrospective moves.
+    log_extract_work: float = 0.3
+    #: Checkpoint/acknowledgement handling per checkpoint.
+    ack_work: float = 0.6
+
+    def replace(self, **changes) -> "CostModel":
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,38 @@
+"""The paper's contribution: the adaptivity architecture of Fig. 1.
+
+Monitoring (MonitoringEventDetector), assessment (Diagnoser) and
+response (Responder) are separate, loosely-coupled Grid services that
+subscribe to each other and communicate asynchronously via
+notifications; the centralized optimizer plays no role during
+adaptations.
+"""
+
+from repro.core.diagnoser import BalancingTask, Diagnoser
+from repro.core.monitoring import MonitoringEventDetector, trimmed_average
+from repro.core.notifications import (
+    CostNotification,
+    ImbalanceProposal,
+    M1Event,
+    M2Event,
+    TOPIC_COST,
+    TOPIC_IMBALANCE,
+    TOPIC_WEIGHTS,
+    WeightsInstalled,
+)
+from repro.core.responder import Responder
+
+__all__ = [
+    "BalancingTask",
+    "CostNotification",
+    "Diagnoser",
+    "ImbalanceProposal",
+    "M1Event",
+    "M2Event",
+    "MonitoringEventDetector",
+    "Responder",
+    "TOPIC_COST",
+    "TOPIC_IMBALANCE",
+    "TOPIC_WEIGHTS",
+    "WeightsInstalled",
+    "trimmed_average",
+]

@@ -1,0 +1,177 @@
+"""The Diagnoser component (§3.1, Assessment).
+
+The Diagnoser gathers the cost notifications produced by
+MonitoringEventDetectors and establishes whether there is workload
+imbalance.  For a subplan ``p`` partitioned across ``n`` machines it
+knows the current tuple distribution vector ``W`` and the per-tuple
+cost ``c(p_i)`` of each instance; the balanced vector ``W'`` allocates
+to each instance a workload inversely proportional to ``c(p_i)``.  It
+notifies the Responder only if some element of ``W'`` deviates
+relatively from ``W`` by more than ``thresA``.
+
+Costs are computed in one of two ways:
+
+* **A1** — only the M1 notifications of the instance (assumes the cost
+  of sending data overlaps with processing, thanks to pipelining);
+* **A2** — additionally the per-tuple communication cost (from M2) of
+  the channels delivering data to the instance, with co-located
+  channels counting as zero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import ASSESSMENT_A2, AdaptivityConfig, CostModel
+from repro.core.notifications import (
+    CostNotification,
+    ImbalanceProposal,
+    TOPIC_COST,
+    TOPIC_IMBALANCE,
+    TOPIC_WEIGHTS,
+    WeightsInstalled,
+)
+from repro.engine.distribution import (
+    inverse_cost_weights,
+    max_relative_change,
+    normalise_weights,
+)
+from repro.grid.container import GridContext
+from repro.services.base import GridService
+from repro.services.pubsub import NotificationPublisher
+
+
+@dataclasses.dataclass(frozen=True)
+class BalancingTask:
+    """Everything the adaptivity components know about one partitioned
+    subplan: its instances, the channels feeding them, the producers'
+    hosts, and the initial distribution."""
+
+    subplan_id: str
+    instance_ids: tuple
+    initial_weights: tuple
+    #: instance_id -> channel keys delivering data to it (for A2).
+    instance_channels: dict
+    #: Channels whose producer and consumer share a machine (their
+    #: communication cost "is considered zero").
+    co_located_channels: frozenset
+    #: GQES endpoints hosting the producers that feed the subplan.
+    producer_endpoints: tuple
+    #: (producer_id, gqes_endpoint, target_port) for every feeding
+    #: producer; the Responder applies updates in port order.
+    producers: tuple
+    #: "wrr" for stateless subplans, "hash" for stateful ones.
+    policy_kind: str
+    #: Initial bucket map for hash-partitioned subplans.
+    bucket_map: tuple | None = None
+    #: GQES endpoints hosting the subplan's instances (for progress
+    #: estimation over *processed* tuples, [7]).
+    instance_endpoints: tuple = ()
+
+
+class Diagnoser(GridService, NotificationPublisher):
+    """Assesses detector notifications and proposes balanced vectors."""
+
+    def __init__(self, context: GridContext, machine_name: str,
+                 config: AdaptivityConfig, cost: CostModel,
+                 tasks: typing.Sequence[BalancingTask],
+                 query_id: str = "q") -> None:
+        GridService.__init__(self, context, f"diagnoser:{query_id}",
+                             machine_name)
+        NotificationPublisher.__init__(self)
+        self.config = config
+        self.cost = cost
+        self.tasks = {task.subplan_id: task for task in tasks}
+        self._weights: dict[str, list[float]] = {
+            task.subplan_id: list(normalise_weights(task.initial_weights))
+            for task in tasks}
+        self._m1_cost: dict[str, float] = {}
+        self._m2_cost: dict[str, float] = {}
+        self._task_of_instance: dict[str, BalancingTask] = {}
+        self._task_of_channel: dict[str, BalancingTask] = {}
+        for task in tasks:
+            for instance_id in task.instance_ids:
+                self._task_of_instance[instance_id] = task
+            for channels in task.instance_channels.values():
+                for channel in channels:
+                    self._task_of_channel[channel] = task
+        self.notifications_received = 0
+        self.proposals_sent = 0
+
+    def current_weights(self, subplan_id: str) -> list[float]:
+        return list(self._weights[subplan_id])
+
+    def on_notification(self, topic: str, payload: typing.Any,
+                        sender: str) -> None:
+        if topic == TOPIC_COST:
+            self._on_cost(payload)
+        elif topic == TOPIC_WEIGHTS:
+            self._on_weights_installed(payload)
+
+    def _on_cost(self, notification: CostNotification) -> None:
+        self.notifications_received += 1
+        self.machine.cpu.execute(self.cost.control_event_work,
+                                 label="diagnoser")
+        task: BalancingTask | None = None
+        if notification.kind == "m1":
+            task = self._task_of_instance.get(notification.instance_id)
+            if task is not None:
+                self._m1_cost[notification.instance_id] = (
+                    notification.average_value)
+        elif notification.kind == "m2":
+            task = self._task_of_channel.get(notification.recipient_channel)
+            if task is not None:
+                self._m2_cost[notification.recipient_channel] = (
+                    notification.average_value)
+        if task is not None:
+            self._assess(task)
+
+    def _on_weights_installed(self, installed: WeightsInstalled) -> None:
+        if installed.subplan_id in self._weights:
+            self._weights[installed.subplan_id] = list(installed.weights)
+
+    def instance_cost(self, task: BalancingTask,
+                      instance_id: str) -> float | None:
+        """The assessed per-tuple cost c(p_i), or None if unknown.
+
+        Degenerate (non-positive) measurements are treated as unknown:
+        a zero cost would make the inverse-proportional vector put all
+        load on one instance on the strength of a broken sample.
+        """
+        processing = self._m1_cost.get(instance_id)
+        if processing is None or processing <= 0:
+            return None
+        total = processing
+        if self.config.assessment == ASSESSMENT_A2:
+            for channel in task.instance_channels.get(instance_id, ()):
+                if channel in task.co_located_channels:
+                    continue
+                communication = self._m2_cost.get(channel)
+                if communication is not None:
+                    total += communication
+        return max(total, 1e-9)
+
+    def _assess(self, task: BalancingTask) -> None:
+        costs = []
+        for instance_id in task.instance_ids:
+            cost = self.instance_cost(task, instance_id)
+            if cost is None:
+                return  # not enough information yet
+            costs.append(cost)
+        proposed = inverse_cost_weights(costs)
+        current = self._weights[task.subplan_id]
+        if max_relative_change(current, proposed) <= self.config.thres_a:
+            return
+        proposal = ImbalanceProposal(
+            subplan_id=task.subplan_id,
+            current_weights=tuple(current),
+            proposed_weights=tuple(proposed),
+            instance_costs=tuple(costs),
+            timestamp=self.env.now)
+        self.publish(TOPIC_IMBALANCE, proposal)
+        self.proposals_sent += 1
+        self.context.tracer.record(
+            "assessment", self.name, "imbalance proposal",
+            subplan=task.subplan_id,
+            proposed=tuple(round(w, 3) for w in proposed))

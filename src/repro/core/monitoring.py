@@ -1,0 +1,149 @@
+"""The MonitoringEventDetector component (§2, §3.1).
+
+One detector runs on each site evaluating a query fragment.  It
+receives raw, low-level monitoring events from the local query engine
+(M1 per ``m1_interval`` produced tuples, M2 per buffer sent), then:
+
+* groups M1 notifications by the identifier of the operator (subplan
+  instance) that generated them, and M2 notifications by the
+  concatenated identifiers of the producer and the buffer's recipient;
+* computes the running average of the cost over a window of a certain
+  length, *discarding the minimum and maximum values*; and
+* generates a notification for subscribed Diagnosers when this average
+  changes by the threshold ``thresM``.
+
+Raw events are delivered by local method call (the engine and detector
+share a machine), but their processing cost is charged to that
+machine's CPU; outgoing notifications travel over the network.
+"""
+
+from __future__ import annotations
+
+import collections
+import statistics
+import typing
+
+from repro.config import AdaptivityConfig, CostModel
+from repro.core.notifications import (
+    CostNotification,
+    M1Event,
+    M2Event,
+    TOPIC_COST,
+)
+from repro.grid.container import GridContext
+from repro.services.base import GridService
+from repro.services.pubsub import NotificationPublisher
+
+
+def trimmed_average(values: typing.Sequence[float]) -> float:
+    """Mean with the single minimum and maximum discarded.
+
+    Falls back to the plain mean when fewer than three values exist
+    (nothing sensible to trim).
+    """
+    if not values:
+        raise ValueError("trimmed_average of empty window")
+    if len(values) < 3:
+        return statistics.fmean(values)
+    ordered = sorted(values)
+    return statistics.fmean(ordered[1:-1])
+
+
+class MonitoringEventDetector(GridService, NotificationPublisher):
+    """Per-site collector and filter of raw monitoring events."""
+
+    def __init__(self, context: GridContext, machine_name: str,
+                 config: AdaptivityConfig, cost: CostModel,
+                 query_id: str = "q") -> None:
+        GridService.__init__(self, context,
+                             f"detector:{query_id}:{machine_name}",
+                             machine_name)
+        NotificationPublisher.__init__(self)
+        self.config = config
+        self.cost = cost
+        self._windows: dict[str, collections.deque] = {}
+        self._last_notified: dict[str, float] = {}
+        self._meta: dict[str, dict] = {}
+        self.raw_events_received = 0
+        self.cost_notifications_sent = 0
+
+    # -- raw event intake (local calls from the engine) ---------------------
+
+    def submit_m1(self, event: M1Event) -> None:
+        """Ingest one M1 event from a local exchange producer."""
+        self.raw_events_received += 1
+        self._charge_cpu()
+        key = f"m1|{event.instance_id}"
+        self._meta[key] = {
+            "kind": "m1",
+            "instance_id": event.instance_id,
+            "recipient_channel": None,
+            "subplan_id": event.subplan_id,
+        }
+        self._observe(key, event.cost_per_tuple_ms)
+
+    def submit_m2(self, producer_id: str, recipient_channel: str,
+                  send_cost_ms: float, tuple_count: int) -> M2Event:
+        """Ingest one M2 event (per buffer sent) from a local producer."""
+        event = M2Event(producer_id=producer_id,
+                        recipient_channel=recipient_channel,
+                        send_cost_ms=send_cost_ms,
+                        tuple_count=tuple_count,
+                        timestamp=self.env.now)
+        self.raw_events_received += 1
+        self._charge_cpu()
+        key = f"m2|{producer_id}->{recipient_channel}"
+        self._meta[key] = {
+            "kind": "m2",
+            "instance_id": None,
+            "recipient_channel": recipient_channel,
+            "subplan_id": None,
+        }
+        if tuple_count > 0:
+            self._observe(key, send_cost_ms / tuple_count)
+        return event
+
+    # -- windowing and thresholding ------------------------------------------
+
+    def _charge_cpu(self) -> None:
+        # Fire-and-forget: detector processing occupies the machine's
+        # CPU (delaying co-located evaluators) without blocking the
+        # caller's control flow.
+        self.machine.cpu.execute(self.cost.control_event_work,
+                                 label="detector")
+
+    def _observe(self, key: str, value: float) -> None:
+        window = self._windows.get(key)
+        if window is None:
+            window = collections.deque(maxlen=self.config.window_size)
+            self._windows[key] = window
+        window.append(value)
+        if len(window) < self.config.min_window_events:
+            return
+        average = trimmed_average(list(window))
+        last = self._last_notified.get(key)
+        if last is not None and last > 0:
+            change = abs(average - last) / last
+            if change < self.config.thres_m:
+                return
+        elif last is not None and average == last:
+            return
+        self._last_notified[key] = average
+        self._emit(key, average, len(window))
+
+    def _emit(self, key: str, average: float, window_length: int) -> None:
+        meta = self._meta[key]
+        notification = CostNotification(
+            kind=meta["kind"],
+            key=key,
+            instance_id=meta["instance_id"],
+            recipient_channel=meta["recipient_channel"],
+            subplan_id=meta["subplan_id"],
+            average_value=average,
+            window_length=window_length,
+            timestamp=self.env.now)
+        self.publish(TOPIC_COST, notification)
+        self.cost_notifications_sent += 1
+        self.context.tracer.record(
+            "monitoring", self.name, "cost notification",
+            key=key, average=round(average, 3))

@@ -1,0 +1,206 @@
+"""The Responder component (§3.1, Response).
+
+The Responder receives imbalance proposals (enhanced workload vectors
+W') from the Diagnoser and decides whether and how to react.  Before
+accepting, it contacts the evaluators that produce data to estimate
+the progress of execution (in line with [7]); if the run is close to
+completion the adaptation is skipped.  Otherwise it notifies the
+producers that must change their distribution policy — prospectively
+(R2) or retrospectively (R1, redistributing the recovery logs) — and
+the Diagnosers that must update the current distribution (W <- W').
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import AdaptivityConfig, CostModel
+from repro.core.diagnoser import BalancingTask
+from repro.core.notifications import (
+    ImbalanceProposal,
+    TOPIC_IMBALANCE,
+    TOPIC_WEIGHTS,
+    WeightsInstalled,
+)
+from repro.engine.control import DistributionUpdate
+from repro.engine.distribution import (
+    max_relative_change,
+    normalise_weights,
+    rebalance_buckets,
+)
+from repro.errors import ServiceError
+from repro.grid.container import GridContext
+from repro.services.base import GridService
+from repro.services.pubsub import NotificationPublisher
+
+
+class _SubplanState:
+    """Mutable adaptation state the Responder keeps per subplan.
+
+    Endpoints are copied out of the (frozen) task so failure recovery
+    can re-point them at replacement hosts.
+    """
+
+    def __init__(self, task: BalancingTask) -> None:
+        self.task = task
+        self.weights = list(normalise_weights(task.initial_weights))
+        self.bucket_map = (list(task.bucket_map)
+                           if task.bucket_map is not None else None)
+        self.producer_endpoints = list(task.producer_endpoints)
+        self.instance_endpoints = list(task.instance_endpoints)
+        self.producers = [list(entry) for entry in task.producers]
+        self.epoch = 0
+        self.last_adaptation: float | None = None
+        self.busy = False
+
+
+class Responder(GridService, NotificationPublisher):
+    """Decides on, and deploys, workload redistributions."""
+
+    def __init__(self, context: GridContext, machine_name: str,
+                 config: AdaptivityConfig, cost: CostModel,
+                 tasks: typing.Sequence[BalancingTask],
+                 query_id: str = "q") -> None:
+        GridService.__init__(self, context, f"responder:{query_id}",
+                             machine_name)
+        NotificationPublisher.__init__(self)
+        self.config = config
+        self.cost = cost
+        self._state = {task.subplan_id: _SubplanState(task)
+                       for task in tasks}
+        self.proposals_received = 0
+        self.adaptations_accepted = 0
+        self.skipped_busy = 0
+        self.skipped_cooldown = 0
+        self.skipped_near_completion = 0
+        self.skipped_below_threshold = 0
+        self.skipped_unreachable = 0
+        #: Deadline for control calls so a crashed peer cannot hang an
+        #: adaptation forever.
+        self.call_timeout_ms = 10_000.0
+
+    def replace_endpoint(self, old_endpoint: str, new_endpoint: str) -> None:
+        """Failure recovery moved a host: re-point control targets."""
+        for state in self._state.values():
+            state.producer_endpoints = [
+                new_endpoint if endpoint == old_endpoint else endpoint
+                for endpoint in state.producer_endpoints]
+            state.instance_endpoints = [
+                new_endpoint if endpoint == old_endpoint else endpoint
+                for endpoint in state.instance_endpoints]
+            for entry in state.producers:
+                if entry[1] == old_endpoint:
+                    entry[1] = new_endpoint
+
+    def on_notification(self, topic: str, payload: typing.Any,
+                        sender: str) -> None:
+        if topic != TOPIC_IMBALANCE:
+            return
+        self.proposals_received += 1
+        self.env.process(self._handle(payload),
+                         name=f"{self.name}:proposal")
+
+    def _handle(self, proposal: ImbalanceProposal) -> typing.Generator:
+        yield self.machine.cpu.execute(self.cost.control_event_work,
+                                       label="responder")
+        state = self._state.get(proposal.subplan_id)
+        if state is None:
+            return
+        if state.busy:
+            self.skipped_busy += 1
+            return
+        state.busy = True
+        try:
+            yield from self._decide(state, proposal)
+        finally:
+            state.busy = False
+
+    def _decide(self, state: _SubplanState,
+                proposal: ImbalanceProposal) -> typing.Generator:
+        now = self.env.now
+        if (state.last_adaptation is not None
+                and now - state.last_adaptation < self.config.cooldown_ms):
+            self.skipped_cooldown += 1
+            return
+        proposed = list(normalise_weights(proposal.proposed_weights))
+        # The proposal was assessed against the Diagnoser's view of W;
+        # re-check against our (possibly newer) state.
+        if max_relative_change(state.weights, proposed) <= self.config.thres_a:
+            self.skipped_below_threshold += 1
+            return
+        # Progress estimation in line with [7]: combine how much input
+        # the producers expect overall with how much the subplan's
+        # instances have already processed; near-complete queries are
+        # left alone.  The estimation itself takes time (SQL progress
+        # estimators and 2005-era SOAP stacks are not free).
+        if self.config.decision_latency_ms > 0:
+            yield self.env.timeout(self.config.decision_latency_ms)
+        try:
+            estimated_total = 0
+            for endpoint in state.producer_endpoints:
+                reports = yield from self.call(
+                    endpoint, "progress",
+                    {"subplan_id": state.task.subplan_id},
+                    timeout_ms=self.call_timeout_ms)
+                estimated_total += sum(r.estimated_total for r in reports)
+            processed_total = 0
+            for endpoint in state.instance_endpoints:
+                processed_total += yield from self.call(
+                    endpoint, "processed",
+                    {"subplan_id": state.task.subplan_id},
+                    timeout_ms=self.call_timeout_ms)
+        except ServiceError:
+            # A peer is unreachable (likely crashed); abort this
+            # adaptation and let failure recovery sort the world out.
+            self.skipped_unreachable += 1
+            return
+        fraction = (processed_total / estimated_total
+                    if estimated_total > 0 else 1.0)
+        if fraction >= self.config.progress_cutoff:
+            self.skipped_near_completion += 1
+            self.context.tracer.record(
+                "response", self.name, "adaptation skipped near completion",
+                fraction=round(fraction, 3))
+            return
+        state.epoch += 1
+        bucket_map: tuple | None = None
+        if state.bucket_map is not None:
+            state.bucket_map = rebalance_buckets(state.bucket_map, proposed)
+            bucket_map = tuple(state.bucket_map)
+        update = DistributionUpdate(
+            subplan_id=state.task.subplan_id,
+            weights=tuple(proposed),
+            bucket_map=bucket_map,
+            retrospective=self.config.retrospective,
+            epoch=state.epoch)
+        # Two-phase deployment: replays first in port order (the build
+        # side of a join before its probe side, so replayed state is
+        # observed before the tuples that probe it), then discards in
+        # reverse port order (old probe tuples leave before the state
+        # they need is torn down).  Each phase is an acknowledged call.
+        by_port = sorted(state.producers, key=lambda p: p[2])
+        try:
+            for producer_id, endpoint, _port in by_port:
+                yield from self.call(endpoint, "update_distribution", {
+                    "update": update, "producer_id": producer_id,
+                    "phase": "replay"}, timeout_ms=self.call_timeout_ms)
+            for producer_id, endpoint, _port in reversed(by_port):
+                yield from self.call(endpoint, "update_distribution", {
+                    "update": update, "producer_id": producer_id,
+                    "phase": "discard"}, timeout_ms=self.call_timeout_ms)
+        except ServiceError:
+            self.skipped_unreachable += 1
+            return
+        state.weights = proposed
+        state.last_adaptation = now
+        self.adaptations_accepted += 1
+        self.context.tracer.record(
+            "response", self.name, "distribution rebalanced",
+            subplan=state.task.subplan_id, epoch=state.epoch,
+            retrospective=self.config.retrospective,
+            weights=tuple(round(w, 3) for w in proposed))
+        self.publish(TOPIC_WEIGHTS, WeightsInstalled(
+            subplan_id=state.task.subplan_id,
+            weights=tuple(proposed),
+            epoch=state.epoch,
+            timestamp=now))

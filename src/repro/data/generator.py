@@ -1,0 +1,84 @@
+"""Synthetic protein demo database.
+
+The paper's evaluation uses the OGSA-DQP demo database:
+``protein_sequences`` (3000 tuples, modified so every tuple has the
+same length) and ``protein_interactions`` (4700 tuples).  This module
+generates data with the same shape from a seed: ORF identifiers in the
+yeast systematic-naming style, fixed-length amino-acid sequences, and
+interaction pairs referencing the sequence table's keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.relation import Relation
+from repro.data.schema import Column, Schema
+
+#: The 20 standard amino-acid one-letter codes.
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Default sizes matching the paper (§3.2).
+SEQUENCES_CARDINALITY = 3000
+INTERACTIONS_CARDINALITY = 4700
+SEQUENCE_LENGTH = 256
+
+
+def sequences_schema(sequence_length: int = SEQUENCE_LENGTH) -> Schema:
+    """Schema of ``protein_sequences``: (ORF, sequence)."""
+    return Schema([
+        Column("ORF", "str", 16),
+        Column("sequence", "str", sequence_length),
+    ])
+
+
+def interactions_schema() -> Schema:
+    """Schema of ``protein_interactions``: (ORF1, ORF2)."""
+    return Schema([
+        Column("ORF1", "str", 16),
+        Column("ORF2", "str", 16),
+    ])
+
+
+def _orf_name(ordinal: int) -> str:
+    """Yeast-style systematic ORF name, e.g. ``YAL001C``."""
+    chromosome = chr(ord("A") + (ordinal // 400) % 16)
+    arm = "L" if (ordinal // 200) % 2 == 0 else "R"
+    strand = "C" if ordinal % 2 == 0 else "W"
+    return f"Y{chromosome}{arm}{ordinal % 1000:03d}{strand}"
+
+
+def generate_protein_sequences(
+        rng: random.Random,
+        cardinality: int = SEQUENCES_CARDINALITY,
+        sequence_length: int = SEQUENCE_LENGTH) -> Relation:
+    """The ``protein_sequences`` table with fixed-length sequences."""
+    schema = sequences_schema(sequence_length)
+    rows = []
+    for ordinal in range(cardinality):
+        orf = f"{_orf_name(ordinal)}-{ordinal}"
+        sequence = "".join(rng.choices(AMINO_ACIDS, k=sequence_length))
+        rows.append((orf, sequence))
+    return Relation.from_values("protein_sequences", schema, rows)
+
+
+def generate_protein_interactions(
+        rng: random.Random,
+        sequences: Relation,
+        cardinality: int = INTERACTIONS_CARDINALITY) -> Relation:
+    """The ``protein_interactions`` table referencing ``sequences``.
+
+    ORF1 values are drawn from the sequence table's keys so the demo
+    join (Q2) has full match semantics, as its 4700-tuple output in the
+    paper suggests.
+    """
+    orfs = sequences.column_values("ORF")
+    if not orfs:
+        raise ValueError("sequences relation is empty")
+    rows = []
+    for _ in range(cardinality):
+        orf1 = rng.choice(orfs)
+        orf2 = rng.choice(orfs)
+        rows.append((orf1, orf2))
+    return Relation.from_values(
+        "protein_interactions", interactions_schema(), rows)

@@ -1,0 +1,58 @@
+"""In-memory relations backing the Grid Data Services."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.data.schema import Schema
+from repro.data.tuples import Row, make_base_tid
+from repro.errors import SchemaError
+
+
+class Relation:
+    """A named table of :class:`~repro.data.tuples.Row` objects."""
+
+    def __init__(self, name: str, schema: Schema,
+                 rows: typing.Sequence[Row] = ()) -> None:
+        self.name = name
+        self.schema = schema
+        self.rows: list[Row] = list(rows)
+        for row in self.rows:
+            self._check(row)
+
+    @classmethod
+    def from_values(cls, name: str, schema: Schema,
+                    value_rows: typing.Iterable[tuple]) -> "Relation":
+        """Build a relation assigning fresh provenance ids."""
+        rows = [Row(tuple(values), make_base_tid(name, ordinal))
+                for ordinal, values in enumerate(value_rows)]
+        return cls(name, schema, rows)
+
+    def _check(self, row: Row) -> None:
+        if len(row.values) != len(self.schema):
+            raise SchemaError(
+                f"{self.name}: row arity {len(row.values)} != schema arity "
+                f"{len(self.schema)}")
+
+    def append(self, row: Row) -> None:
+        self._check(row)
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> typing.Iterator[Row]:
+        return iter(self.rows)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    @property
+    def tuple_bytes(self) -> int:
+        return self.schema.width_bytes
+
+    def column_values(self, reference: str) -> list:
+        """All values of one column (test/analysis helper)."""
+        position = self.schema.position_of(reference)
+        return [row.values[position] for row in self.rows]

@@ -1,0 +1,55 @@
+"""Tuples with provenance identifiers.
+
+Every base tuple carries a globally unique ``tid``.  Derived tuples
+(projections, WS results, join outputs) carry tids composed from their
+inputs' tids, so any result tuple can be deduplicated no matter how
+many times a retrospective repartition replays its inputs.  This is
+the mechanism that makes R1 state redistribution exactly-once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.data.schema import Schema
+
+#: Type of a provenance identifier: a base id or a tree of ids.
+Tid = typing.Union[str, tuple]
+
+
+@dataclasses.dataclass(frozen=True)
+class Row:
+    """An immutable data tuple.
+
+    (Named ``Row`` to avoid clashing with ``tuple``; the public API
+    exposes it as ``repro.Row``.)
+    """
+
+    values: tuple
+    tid: Tid
+
+    def value(self, position: int) -> typing.Any:
+        return self.values[position]
+
+    def project(self, positions: typing.Sequence[int]) -> "Row":
+        """New row keeping ``positions``; provenance is inherited."""
+        return Row(tuple(self.values[p] for p in positions), self.tid)
+
+    def extend(self, extra_values: tuple, other_tid: Tid) -> "Row":
+        """Join-style combination with another row's values and tid."""
+        return Row(self.values + extra_values, (self.tid, other_tid))
+
+    def replace_values(self, values: tuple) -> "Row":
+        """New row with different values, same provenance."""
+        return Row(tuple(values), self.tid)
+
+
+def make_base_tid(table_name: str, ordinal: int) -> str:
+    """Provenance id for the ``ordinal``-th tuple of a base table."""
+    return f"{table_name}#{ordinal}"
+
+
+def row_size_bytes(row: Row, schema: Schema) -> int:
+    """Approximate serialized size of ``row`` under ``schema``."""
+    return schema.width_bytes

@@ -1,0 +1,17 @@
+"""Distributed query processing services (the OGSA-DQP analog)."""
+
+from repro.dqp.client import QueryProcessor
+from repro.dqp.deployment import QueryRuntime, deploy_query
+from repro.dqp.gdqs import GDQS, QueryHandle, QueryResult, QueryStatistics
+from repro.dqp.gqes import GQES
+
+__all__ = [
+    "GDQS",
+    "GQES",
+    "QueryHandle",
+    "QueryProcessor",
+    "QueryResult",
+    "QueryRuntime",
+    "QueryStatistics",
+    "deploy_query",
+]

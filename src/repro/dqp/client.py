@@ -1,0 +1,56 @@
+"""User-facing query facade.
+
+:class:`QueryProcessor` hides the simulation loop: it owns a GDQS over
+a prepared Grid context and runs queries to completion synchronously
+(in simulated time), returning :class:`~repro.dqp.gdqs.QueryResult`
+objects.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import (
+    AdaptivityConfig,
+    CostModel,
+    EngineConfig,
+    FaultToleranceConfig,
+)
+from repro.dqp.gdqs import GDQS, QueryResult
+from repro.grid.container import GridContext
+from repro.services.gds import GridDataService
+from repro.services.ws import WebServiceOperation
+
+
+class QueryProcessor:
+    """Run queries against a simulated Grid deployment."""
+
+    def __init__(self, context: GridContext,
+                 gds_map: typing.Mapping[str, GridDataService],
+                 operations: typing.Mapping[str, WebServiceOperation],
+                 coordinator_machine: str,
+                 engine_config: EngineConfig | None = None,
+                 cost: CostModel | None = None,
+                 fault_tolerance: FaultToleranceConfig | None = None
+                 ) -> None:
+        self.context = context
+        self.gdqs = GDQS(context, coordinator_machine, gds_map, operations,
+                         engine_config=engine_config, cost=cost,
+                         fault_tolerance=fault_tolerance)
+
+    def run(self, query_text: str,
+            adaptivity: AdaptivityConfig | None = None,
+            degree: int | None = None) -> QueryResult:
+        """Execute ``query_text`` to completion; returns its result.
+
+        ``adaptivity`` selects the paper's policies (assessment A1/A2,
+        response R1/R2, thresholds); ``degree`` caps intra-operator
+        parallelism.
+        """
+        handle = self.gdqs.submit(query_text, adaptivity=adaptivity,
+                                  degree=degree)
+        result = self.context.env.run(until=handle.done)
+        # Drain teardown traffic (query-complete broadcasts etc.) so a
+        # follow-up query starts from a quiet grid.
+        self.context.env.run()
+        return result

@@ -1,0 +1,440 @@
+"""The Grid Distributed Query Service: query lifecycle orchestration.
+
+The GDQS accepts queries, compiles them (parse -> logical plan ->
+partitioned physical plan), creates the (A)GQESs and fragments through
+:mod:`repro.dqp.deployment`, waits for the result sink to complete,
+then broadcasts query completion and gathers statistics.  Per §2, it
+plays *no* role during adaptations — the AGQESs and the adaptivity
+services handle rebalancing among themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import (
+    AdaptivityConfig,
+    CostModel,
+    EngineConfig,
+    FaultToleranceConfig,
+)
+from repro.core.monitoring import MonitoringEventDetector
+from repro.core.notifications import TOPIC_COST
+from repro.data.schema import Schema
+from repro.dqp.deployment import (
+    QueryRuntime,
+    build_compute_fragment,
+    channel_key_for,
+    deploy_query,
+    producer_id_for,
+)
+from repro.dqp.gqes import GQES
+from repro.engine.control import QueryComplete, ResetProducer
+from repro.engine.metrics import SubplanMetrics
+from repro.engine.operators.base import EvalContext
+from repro.errors import PlanningError
+from repro.planner.physical import ROOT_SUBPLAN
+from repro.grid.container import GridContext
+from repro.net.message import KIND_CONTROL
+from repro.planner.logical import build_logical_plan
+from repro.planner.optimizer import optimize
+from repro.planner.parser import parse
+from repro.services.base import GridService
+from repro.services.gds import GridDataService
+from repro.services.ws import WebServiceOperation
+from repro.sim.events import Event
+
+
+@dataclasses.dataclass
+class QueryStatistics:
+    """Execution statistics gathered after query completion."""
+
+    response_time_ms: float
+    result_count: int
+    duplicates_dropped: int
+    raw_monitoring_events: int
+    cost_notifications: int
+    proposals_sent: int
+    adaptations_accepted: int
+    retrospective_moves: int
+    tuples_moved: int
+    skipped_near_completion: int
+    skipped_cooldown: int
+    skipped_below_threshold: int
+    machines_recovered: int
+    tuples_replayed_for_recovery: int
+    #: Fraction of the query's wall time each machine's CPU was busy
+    #: (work attributable to this window, so concurrent queries share).
+    machine_utilisation: dict
+    #: Tuples attributed per compute instance by the feed producers
+    #: (summed over feeds) — the paper's "ratio of tuples" statistic.
+    tuples_per_consumer: list
+
+    @property
+    def consumer_imbalance_ratio(self) -> float:
+        """max/min tuples per consumer (1.0 = perfectly balanced)."""
+        counts = [c for c in self.tuples_per_consumer if c > 0]
+        if len(counts) < 2:
+            return 1.0
+        return max(counts) / min(counts)
+
+
+@dataclasses.dataclass
+class QueryResult:
+    """Result rows plus measured statistics for one query run."""
+
+    query_id: str
+    rows: list
+    schema: Schema
+    stats: QueryStatistics
+
+    @property
+    def response_time_ms(self) -> float:
+        return self.stats.response_time_ms
+
+    def values(self) -> list[tuple]:
+        return [row.values for row in self.rows]
+
+
+class QueryHandle:
+    """A submitted query: exposes the completion event and result."""
+
+    def __init__(self, query_id: str, done: Event) -> None:
+        self.query_id = query_id
+        self.done = done
+        self.result: QueryResult | None = None
+        self.runtime: QueryRuntime | None = None
+        self.submitted_at: float = 0.0
+        self.cpu_baseline: dict = {}
+
+
+class GDQS(GridService):
+    """Coordinator service: compile, deploy, collect."""
+
+    def __init__(self, context: GridContext, machine_name: str,
+                 gds_map: typing.Mapping[str, GridDataService],
+                 operations: typing.Mapping[str, WebServiceOperation],
+                 engine_config: EngineConfig | None = None,
+                 cost: CostModel | None = None,
+                 fault_tolerance: FaultToleranceConfig | None = None
+                 ) -> None:
+        super().__init__(context, f"gdqs:{machine_name}", machine_name)
+        self.gds_map = dict(gds_map)
+        self.operations = dict(operations)
+        self.engine_config = engine_config or EngineConfig()
+        self.cost = cost or CostModel()
+        self.fault_tolerance = fault_tolerance or FaultToleranceConfig()
+        self._query_counter = 0
+        self._heartbeats: dict[str, float] = {}
+        self.failures_recovered = 0
+
+    def on_notification(self, topic: str, payload: typing.Any,
+                        sender: str) -> None:
+        if topic == "gqes.heartbeat":
+            self._heartbeats[sender] = self.env.now
+
+    def submit(self, query_text: str,
+               adaptivity: AdaptivityConfig | None = None,
+               degree: int | None = None) -> QueryHandle:
+        """Compile, deploy and start ``query_text``.
+
+        Returns immediately with a :class:`QueryHandle`; drive the
+        simulation (``env.run(until=handle.done)``) to completion.
+        """
+        adaptivity = adaptivity or AdaptivityConfig()
+        self._query_counter += 1
+        query_id = f"q{self._query_counter}"
+
+        engine_config = self.engine_config
+        if self.fault_tolerance.enabled and not engine_config.logging_enabled:
+            # Recovery replays come from the logs; they must exist.
+            engine_config = engine_config.replace(logging_enabled=True)
+
+        schemas = {name: gds.relation.schema
+                   for name, gds in self.gds_map.items()}
+        cardinalities = {name: gds.relation.cardinality
+                         for name, gds in self.gds_map.items()}
+        logical = build_logical_plan(parse(query_text), schemas,
+                                     cardinalities)
+        plan = optimize(logical, self.context.registry,
+                        coordinator_machine=self.machine.name,
+                        degree=degree, query_id=query_id)
+        runtime = deploy_query(self.context, plan, self.gds_map,
+                               self.operations, engine_config,
+                               self.cost, adaptivity,
+                               fault_tolerance=self.fault_tolerance,
+                               gdqs_endpoint=self.name)
+        self.context.tracer.record("query", self.name, "query submitted",
+                                    query_id=query_id)
+        handle = QueryHandle(query_id, self.env.event())
+        handle.runtime = runtime
+        handle.cpu_baseline = {
+            name: self.context.registry.machine(name).cpu.busy_time
+            for name in plan.machines_used()}
+        handle.submitted_at = self.env.now
+        self.env.process(self._orchestrate(handle, runtime),
+                         name=f"gdqs:orchestrate:{query_id}")
+        if self.fault_tolerance.enabled:
+            self.env.process(self._monitor_failures(handle, runtime),
+                             name=f"gdqs:monitor:{query_id}")
+        return handle
+
+    def _orchestrate(self, handle: QueryHandle,
+                     runtime: QueryRuntime) -> typing.Generator:
+        submitted_at = self.env.now
+        yield runtime.sink.done
+        # Termination double-check: trust the sink's completion only
+        # once every GQES is quiescent, so an adaptation racing the
+        # finish line (replays in flight to an already-finished
+        # instance) is never missed.  With fault tolerance on, the
+        # check also demands positive liveness from every participant:
+        # a machine that died carrying attributed-but-undelivered work
+        # (e.g. a rebalance aimed at it as it crashed) must first be
+        # recovered, or its backlog would be silently dropped.
+        def settled() -> bool:
+            if not all(gqes.is_quiescent() for gqes in runtime.all_gqes()):
+                return False
+            if (self.fault_tolerance.enabled
+                    and runtime.unhandled_failures()):
+                return False
+            return True
+
+        while not settled():
+            yield self.env.timeout(5.0)
+        response_time = runtime.sink.completed_at - submitted_at
+        # Broadcast completion so evaluators and detectors wind down.
+        for gqes in runtime.all_gqes():
+            self.send(gqes.name, KIND_CONTROL,
+                      QueryComplete(handle.query_id))
+        handle.result = self._collect(handle.query_id, runtime,
+                                      response_time,
+                                      handle.cpu_baseline)
+        self.context.tracer.record(
+            "query", self.name, "query completed",
+            query_id=handle.query_id,
+            response_ms=round(response_time, 1))
+        handle.done.succeed(handle.result)
+
+    # -- failure detection and recovery ---------------------------------------
+
+    def _monitor_failures(self, handle: QueryHandle,
+                          runtime: QueryRuntime) -> typing.Generator:
+        """Watch heartbeats and re-create evaluators lost to failures."""
+        ft = self.fault_tolerance
+        started = self.env.now
+        while not handle.done.triggered:
+            yield self.env.timeout(ft.heartbeat_interval_ms)
+            if handle.done.triggered:
+                return
+            for gqes in list(runtime.all_gqes()):
+                if (gqes.name in runtime.failures_handled
+                        or gqes.name == self.name):
+                    continue
+                last_seen = self._heartbeats.get(gqes.name, started)
+                if self.env.now - last_seen <= ft.failure_timeout_ms:
+                    continue
+                runtime.failures_handled.add(gqes.name)
+                yield from self._recover(runtime, gqes)
+
+    def _pick_replacement(self, runtime: QueryRuntime,
+                          failed_machine: str) -> str:
+        registry = self.context.registry
+        in_use = set(runtime.gqes_by_machine)
+        for name in registry.spare_machines():
+            if name not in in_use:
+                return name
+        for name in registry.compute_machines():
+            if name not in in_use and name != failed_machine:
+                return name
+        # Last resort: double up on a surviving compute machine.
+        for name in runtime.plan.compute.machine_names:
+            if name != failed_machine:
+                return name
+        raise PlanningError(
+            f"no replacement machine available for {failed_machine}")
+
+    def _recover(self, runtime: QueryRuntime,
+                 failed: GQES) -> typing.Generator:
+        """Re-create the failed machine's compute instances elsewhere.
+
+        Only compute-subplan instances are recoverable: their inputs
+        live in the feed producers' recovery logs.  The replacement
+        gets the same instance ids and channel keys, the coordinator
+        forgets the dead incarnation's announcements, and the feed
+        producers redirect and replay — re-deliveries deduplicate by
+        provenance downstream.
+        """
+        plan = runtime.plan
+        compute_id = plan.compute.subplan_id
+        lost = [fragment for fragment in failed.fragments.values()
+                if fragment.subplan_id == compute_id]
+        if not lost:
+            return  # a data host or the coordinator died: unrecoverable
+        replacement = self._pick_replacement(runtime, failed.machine.name)
+        adaptivity = runtime.adaptivity
+        monitoring_on = adaptivity.enabled and adaptivity.m1_interval > 0
+
+        detector = runtime.detectors.get(replacement)
+        if monitoring_on and detector is None:
+            detector = MonitoringEventDetector(
+                self.context, replacement, adaptivity, self.cost,
+                query_id=plan.query_id)
+            runtime.detectors[replacement] = detector
+            if runtime.diagnoser is not None:
+                detector.subscribe(TOPIC_COST, runtime.diagnoser.name)
+
+        new_gqes = runtime.gqes_by_machine.get(replacement)
+        if new_gqes is None:
+            new_gqes = GQES(self.context, plan.query_id, replacement,
+                            failed.engine_config, self.cost,
+                            detector=detector,
+                            fault_tolerance=self.fault_tolerance,
+                            gdqs_endpoint=self.name)
+            runtime.gqes_by_machine[replacement] = new_gqes
+
+        coordinator_endpoint = runtime.gqes_by_machine[
+            plan.coordinator_machine].name
+        m1_interval = adaptivity.m1_interval if monitoring_on else 0
+        sink_channel = channel_key_for(ROOT_SUBPLAN, 0, 0)
+        for old_fragment in lost:
+            index = old_fragment.instance_index
+            ctx = EvalContext(
+                grid=self.context,
+                machine=self.context.registry.machine(replacement),
+                metrics=SubplanMetrics(old_fragment.instance_id),
+                cost=self.cost,
+                engine_config=failed.engine_config,
+                monitor=detector)
+            new_fragment = build_compute_fragment(
+                ctx, plan, index, self.operations, coordinator_endpoint,
+                m1_interval)
+            new_gqes.deploy(new_fragment)
+            # Swap runtime records so statistics reflect the live world.
+            position = next(
+                i for i, fragment in enumerate(runtime.compute_fragments)
+                if fragment.instance_id == old_fragment.instance_id)
+            runtime.compute_fragments[position] = new_fragment
+            runtime.compute_producers[position] = new_fragment.producers[0]
+            # The coordinator forgets the dead incarnation's result
+            # announcement; the replacement re-announces from scratch.
+            self.send(coordinator_endpoint, KIND_CONTROL, ResetProducer(
+                sink_channel, producer_id_for(compute_id, index)))
+            # Feed producers redirect and replay their recovery logs.
+            for endpoint in dict.fromkeys(
+                    ep for ep, _xp in runtime.feed_producers):
+                yield from self.call(
+                    endpoint, "redirect_channels",
+                    {"subplan_id": compute_id,
+                     "instance_id": old_fragment.instance_id,
+                     "endpoint": new_gqes.name},
+                    timeout_ms=self.fault_tolerance.call_timeout_ms)
+        if runtime.responder is not None:
+            runtime.responder.replace_endpoint(failed.name, new_gqes.name)
+            if runtime.responder.crashed:
+                # The Responder died, possibly between the replay and
+                # discard phases of an update: roll it forward so no
+                # producer is left mid-move.
+                yield from self._finalize_orphaned_updates(runtime)
+        self.failures_recovered += 1
+        self.context.tracer.record(
+            "failure", self.name, "evaluators recovered",
+            failed_machine=failed.machine.name, replacement=replacement,
+            instances=len(lost))
+
+    def _finalize_orphaned_updates(self, runtime: QueryRuntime
+                                   ) -> typing.Generator:
+        """Complete a two-phase distribution update whose Responder died.
+
+        Rolls the update *forward*: any producer still behind the
+        highest applied epoch receives the stored update's replay phase
+        (so a join's build and probe sides agree on the bucket map),
+        then every producer's pending discards are issued in reverse
+        port order — the same ordering discipline the Responder uses.
+        """
+        task = runtime.balancing_task
+        if task is None:
+            return
+        endpoints = list(dict.fromkeys(
+            endpoint for endpoint, _xp in runtime.feed_producers))
+        status_by_producer: dict = {}
+        for endpoint in endpoints:
+            entries = yield from self.call(
+                endpoint, "update_status", {"subplan_id": task.subplan_id},
+                timeout_ms=self.fault_tolerance.call_timeout_ms)
+            for entry in entries:
+                status_by_producer[entry["producer_id"]] = entry
+        if not any(entry["moving"] for entry in status_by_producer.values()):
+            return
+        newest = max((entry["last_update"]
+                      for entry in status_by_producer.values()
+                      if entry["last_update"] is not None),
+                     key=lambda update: update.epoch, default=None)
+        by_port = sorted(task.producers, key=lambda p: p[2])
+        if newest is not None:
+            for producer_id, endpoint, _port in by_port:
+                entry = status_by_producer.get(producer_id)
+                if entry is None or entry["applied_epoch"] >= newest.epoch:
+                    continue
+                yield from self.call(endpoint, "update_distribution", {
+                    "update": newest, "producer_id": producer_id,
+                    "phase": "replay"},
+                    timeout_ms=self.fault_tolerance.call_timeout_ms)
+        for producer_id, endpoint, _port in reversed(by_port):
+            yield from self.call(endpoint, "update_distribution", {
+                "update": newest, "producer_id": producer_id,
+                "phase": "discard"},
+                timeout_ms=self.fault_tolerance.call_timeout_ms)
+        self.context.tracer.record(
+            "failure", self.name, "orphaned update finalized",
+            subplan=task.subplan_id)
+
+    def _collect(self, query_id: str, runtime: QueryRuntime,
+                 response_time: float,
+                 cpu_baseline: dict | None = None) -> QueryResult:
+        machine_utilisation = {}
+        if cpu_baseline and response_time > 0:
+            for name, baseline in cpu_baseline.items():
+                cpu = self.context.registry.machine(name).cpu
+                machine_utilisation[name] = min(
+                    1.0, (cpu.busy_time - baseline) / response_time)
+        sink = runtime.sink
+        raw_events = sum(d.raw_events_received
+                         for d in runtime.detectors.values())
+        cost_notifications = sum(d.cost_notifications_sent
+                                 for d in runtime.detectors.values())
+        feed_xps = [producer for _endpoint, producer
+                    in runtime.feed_producers]
+        degree = runtime.plan.partitioning_degree
+        tuples_per_consumer = [0] * degree
+        for producer in feed_xps:
+            for index, count in enumerate(producer.sent_per_consumer):
+                tuples_per_consumer[index] += count
+        stats = QueryStatistics(
+            response_time_ms=response_time,
+            result_count=len(sink.final_rows()),
+            duplicates_dropped=sink.duplicates_dropped,
+            raw_monitoring_events=raw_events,
+            cost_notifications=cost_notifications,
+            proposals_sent=(runtime.diagnoser.proposals_sent
+                            if runtime.diagnoser else 0),
+            adaptations_accepted=(runtime.responder.adaptations_accepted
+                                  if runtime.responder else 0),
+            retrospective_moves=sum(p.retrospective_moves
+                                    for p in feed_xps),
+            tuples_moved=sum(p.tuples_moved for p in feed_xps),
+            skipped_near_completion=(
+                runtime.responder.skipped_near_completion
+                if runtime.responder else 0),
+            skipped_cooldown=(runtime.responder.skipped_cooldown
+                              if runtime.responder else 0),
+            skipped_below_threshold=(
+                runtime.responder.skipped_below_threshold
+                if runtime.responder else 0),
+            machines_recovered=self.failures_recovered,
+            machine_utilisation=machine_utilisation,
+            tuples_replayed_for_recovery=sum(
+                p.tuples_replayed_for_recovery for p in feed_xps),
+            tuples_per_consumer=tuples_per_consumer)
+        return QueryResult(query_id, sink.final_rows(),
+                           runtime.plan.output_schema, stats)

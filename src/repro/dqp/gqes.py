@@ -1,0 +1,319 @@
+"""Grid Query Evaluation Services.
+
+A GQES "is dynamically created on each machine that has been selected
+by the GDQS's optimiser to contribute to the execution" and contains
+the query execution engine (§2).  An *Adaptive* GQES (AGQES)
+additionally hosts a local MonitoringEventDetector, whose hook is
+threaded into its fragments' operators.
+
+The GQES owns the machine-side halves of every engine protocol:
+
+* ``data`` messages are deserialized (CPU work) and routed into the
+  right exchange consumer's queue;
+* ``control`` messages (discards, announcements, acknowledgements,
+  distribution updates, query completion) are applied in arrival
+  order — both paths serialise through the machine's FIFO CPU, which
+  preserves the per-link FIFO guarantees the recovery protocol needs.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import CostModel, EngineConfig, FaultToleranceConfig
+from repro.core.monitoring import MonitoringEventDetector
+from repro.engine.control import (
+    ChannelAnnouncement,
+    DataBuffer,
+    DiscardTuples,
+    QueryComplete,
+    ResetProducer,
+)
+from repro.engine.evaluator import Fragment
+from repro.errors import ServiceError
+from repro.grid.container import GridContext
+from repro.net.message import Message
+from repro.recovery.checkpoint import Acknowledgement
+from repro.services.base import GridService
+
+
+class GQES(GridService):
+    """One query-evaluation service instance on one machine."""
+
+    def __init__(self, context: GridContext, query_id: str,
+                 machine_name: str, engine_config: EngineConfig,
+                 cost: CostModel,
+                 detector: MonitoringEventDetector | None = None,
+                 fault_tolerance: FaultToleranceConfig | None = None,
+                 gdqs_endpoint: str | None = None) -> None:
+        super().__init__(context, f"gqes:{query_id}:{machine_name}",
+                         machine_name)
+        self.query_id = query_id
+        self.engine_config = engine_config
+        self.cost = cost
+        self.detector = detector
+        self.fault_tolerance = fault_tolerance or FaultToleranceConfig()
+        self.gdqs_endpoint = gdqs_endpoint
+        self.fragments: dict[str, Fragment] = {}
+        self._consumers: dict[str, tuple] = {}   # channel_key -> (xc, frag)
+        self._producers: dict[str, tuple] = {}   # producer_id -> (xp, frag)
+        self.query_complete = self.env.event()
+        self._evaluators: list = []
+        self._ingests_active = 0
+        if self.fault_tolerance.enabled and gdqs_endpoint is not None:
+            self.env.process(self._heartbeat_loop(),
+                             name=f"{self.name}:heartbeat")
+
+    @property
+    def is_adaptive(self) -> bool:
+        return self.detector is not None
+
+    # -- fault tolerance -----------------------------------------------------
+
+    def _heartbeat_loop(self) -> typing.Generator:
+        """Periodically tell the GDQS this evaluator service is alive."""
+        interval = self.fault_tolerance.heartbeat_interval_ms
+        while not self.crashed and not self.query_complete.triggered:
+            self.notify(self.gdqs_endpoint, "gqes.heartbeat",
+                        {"machine": self.machine.name, "gqes": self.name})
+            yield self.env.timeout(interval)
+
+    def on_crash(self) -> None:
+        """Host failure: every evaluator and its state is lost."""
+        for fragment in self.fragments.values():
+            fragment.halted = True
+            for consumer in fragment.consumers.values():
+                consumer.aborted = True
+                consumer.queue.drain()
+                if consumer.queue.waiting_getters:
+                    consumer.inject_recheck()
+            fragment.wake()
+
+    # -- deployment ------------------------------------------------------
+
+    def deploy(self, fragment: Fragment) -> None:
+        """Install a subplan fragment and start its evaluator."""
+        if fragment.instance_id in self.fragments:
+            raise ServiceError(
+                f"{self.name}: fragment {fragment.instance_id} already "
+                "deployed")
+        self.fragments[fragment.instance_id] = fragment
+        fragment.attach_service(self)
+        for channel_key, consumer in fragment.consumers.items():
+            self._consumers[channel_key] = (consumer, fragment)
+        for producer in fragment.producers:
+            self._producers[producer.producer_id] = (producer, fragment)
+        evaluator = self.env.process(
+            fragment.run(self.query_complete),
+            name=f"eval:{fragment.instance_id}")
+        self._evaluators.append(evaluator)
+
+    # -- data path ----------------------------------------------------------
+
+    def on_data(self, message: Message) -> None:
+        self.env.process(self._ingest_data(message),
+                         name=f"{self.name}:ingest-data")
+
+    def _ingest_data(self, message: Message) -> typing.Generator:
+        self._ingests_active += 1
+        try:
+            buffer: DataBuffer = message.payload
+            serialization = self.context.serialization
+            yield self.machine.cpu.execute(
+                serialization.deserialize_work(buffer.tuple_count),
+                label="deserialize")
+            try:
+                consumer, fragment = self._consumers[buffer.channel_key]
+            except KeyError:
+                raise ServiceError(
+                    f"{self.name}: data for unknown channel "
+                    f"{buffer.channel_key}") from None
+            consumer.deliver(buffer.producer_id, message.sender,
+                             buffer.items)
+            fragment.wake()
+        finally:
+            self._ingests_active -= 1
+
+    # -- control path ---------------------------------------------------------
+
+    def on_control(self, message: Message) -> None:
+        self.env.process(self._ingest_control(message),
+                         name=f"{self.name}:ingest-control")
+
+    def _ingest_control(self, message: Message) -> typing.Generator:
+        self._ingests_active += 1
+        try:
+            yield from self._ingest_control_inner(message)
+        finally:
+            self._ingests_active -= 1
+
+    def _ingest_control_inner(self, message: Message) -> typing.Generator:
+        yield self.machine.cpu.execute(self.cost.control_event_work,
+                                       label="control")
+        payload = message.payload
+        if isinstance(payload, DiscardTuples):
+            self._apply_discard(payload)
+        elif isinstance(payload, ChannelAnnouncement):
+            self._apply_announcement(payload)
+        elif isinstance(payload, Acknowledgement):
+            self._apply_ack(payload)
+        elif isinstance(payload, ResetProducer):
+            self._apply_reset_producer(payload)
+        elif isinstance(payload, QueryComplete):
+            self._apply_query_complete()
+        else:
+            raise ServiceError(
+                f"{self.name}: unknown control payload {payload!r}")
+
+    def _apply_discard(self, discard: DiscardTuples) -> None:
+        try:
+            consumer, fragment = self._consumers[discard.channel_key]
+        except KeyError:
+            return  # channel torn down already
+        consumer.apply_discard(discard)
+        fragment.discard_state(discard.channel_key, discard.tids)
+        consumer.inject_recheck()
+        fragment.wake()
+
+    def _apply_announcement(self, announcement: ChannelAnnouncement) -> None:
+        try:
+            consumer, fragment = self._consumers[announcement.channel_key]
+        except KeyError:
+            return
+        consumer.apply_announcement(announcement)
+        consumer.inject_recheck()
+        fragment.wake()
+
+    def _apply_ack(self, ack: Acknowledgement) -> None:
+        entry = self._producers.get(ack.producer_id)
+        if entry is None:
+            return
+        producer, _fragment = entry
+        producer.handle_ack(ack)
+
+    def _apply_reset_producer(self, reset: ResetProducer) -> None:
+        try:
+            consumer, fragment = self._consumers[reset.channel_key]
+        except KeyError:
+            return
+        consumer.reset_producer(reset.producer_id)
+        consumer.inject_recheck()
+        fragment.wake()
+
+    def _apply_query_complete(self) -> None:
+        if not self.query_complete.triggered:
+            self.query_complete.succeed(None)
+        for fragment in self.fragments.values():
+            for consumer in fragment.consumers.values():
+                consumer.aborted = True
+                consumer.queue.drain()
+                # Unblock an evaluator parked inside queue.get(); a
+                # parked-elsewhere evaluator is woken below instead, so
+                # no sentinel is left behind.
+                if consumer.queue.waiting_getters:
+                    consumer.inject_recheck()
+            fragment.wake()
+
+    # -- operations (request/response) ---------------------------------------
+
+    def op_progress(self, payload: dict, sender: str) -> typing.Generator:
+        """Progress reports for producers feeding ``subplan_id`` ([7])."""
+        subplan_id = payload["subplan_id"]
+        reports = [producer.progress()
+                   for producer, _fragment in self._producers.values()
+                   if producer.target_subplan_id == subplan_id]
+        return reports
+        yield  # pragma: no cover - generator form required by dispatcher
+
+    def op_update_distribution(self, payload: dict,
+                               sender: str) -> typing.Generator:
+        """Apply one phase of a distribution update to one producer.
+
+        The Responder drives this as an acknowledged, two-phase
+        protocol — replays first across all producers of the subplan
+        (build side before probe side), then discards in reverse order
+        — so a join instance always observes replayed build state
+        before the matching probe tuples, and old state is only torn
+        down after the moved probe tuples left the old consumer.
+        """
+        if self.query_complete.triggered:
+            return "query-complete"
+        entry = self._producers.get(payload["producer_id"])
+        if entry is None:
+            return "unknown-producer"
+        producer, _fragment = entry
+        if payload["phase"] == "replay":
+            applied = yield from producer.apply_update_replay(
+                payload["update"])
+            return "applied" if applied else "stale-epoch"
+        yield from producer.apply_update_discard()
+        return "discarded"
+
+    def op_redirect_channels(self, payload: dict,
+                             sender: str) -> typing.Generator:
+        """Re-point local producers' channels at a replacement host.
+
+        Part of failure recovery: every producer feeding
+        ``subplan_id`` redirects the channels of ``instance_id`` to
+        ``endpoint`` and replays its recovery logs.
+        """
+        redirected = 0
+        for producer, _fragment in list(self._producers.values()):
+            if producer.target_subplan_id != payload["subplan_id"]:
+                continue
+            redirected += yield from producer.redirect_instance(
+                payload["instance_id"], payload["endpoint"])
+        return redirected
+
+    def op_update_status(self, payload: dict,
+                         sender: str) -> typing.Generator:
+        """Two-phase-update state of local producers for a subplan.
+
+        Used by the GDQS to roll an orphaned update forward after the
+        Responder crashed between the replay and discard phases.
+        """
+        status = []
+        for producer, _fragment in self._producers.values():
+            if producer.target_subplan_id != payload["subplan_id"]:
+                continue
+            status.append({
+                "producer_id": producer.producer_id,
+                "applied_epoch": producer.applied_epoch,
+                "moving": producer.moving,
+                "last_update": producer.last_update,
+            })
+        return status
+        yield  # pragma: no cover - generator form required by dispatcher
+
+    def op_processed(self, payload: dict, sender: str) -> typing.Generator:
+        """Tuples consumed so far by local instances of ``subplan_id``."""
+        subplan_id = payload["subplan_id"]
+        total = sum(fragment.ctx.metrics.consumed
+                    for fragment in self.fragments.values()
+                    if fragment.subplan_id == subplan_id)
+        return total
+        yield  # pragma: no cover - generator form required by dispatcher
+
+    # -- coordinator-side termination detection -------------------------------
+
+    def is_quiescent(self) -> bool:
+        """No undelivered, unprocessed or in-flight engine work here.
+
+        Used by the GDQS to double-check query completion: a sink that
+        looks complete is only trusted once every GQES is quiescent, so
+        an adaptation racing the finish line cannot be missed.
+        """
+        if self.crashed:
+            return True  # a dead node holds no recoverable work
+        if self._ingests_active > 0 or len(self.mailbox) > 0:
+            return False
+        for fragment in self.fragments.values():
+            for consumer in fragment.consumers.values():
+                if len(consumer.queue) > 0:
+                    return False
+                if not (consumer.aborted or consumer.is_complete()):
+                    return False
+            for producer in fragment.producers:
+                if not producer.finished or producer.moving:
+                    return False
+        return True

@@ -1,0 +1,47 @@
+"""Query execution engine: operators, distribution, evaluator."""
+
+from repro.engine.control import (
+    ChannelAnnouncement,
+    DataBuffer,
+    DiscardTuples,
+    DistributionUpdate,
+    ProgressReport,
+    QueryComplete,
+    RECHECK,
+)
+from repro.engine.distribution import (
+    DistributionPolicy,
+    HashBucketPolicy,
+    WeightedRoundRobin,
+    assign_buckets,
+    inverse_cost_weights,
+    max_relative_change,
+    normalise_weights,
+    rebalance_buckets,
+    rebalance_outstanding,
+    stable_hash,
+)
+from repro.engine.evaluator import Fragment
+from repro.engine.metrics import SubplanMetrics
+
+__all__ = [
+    "ChannelAnnouncement",
+    "DataBuffer",
+    "DiscardTuples",
+    "DistributionPolicy",
+    "DistributionUpdate",
+    "Fragment",
+    "HashBucketPolicy",
+    "ProgressReport",
+    "QueryComplete",
+    "RECHECK",
+    "SubplanMetrics",
+    "WeightedRoundRobin",
+    "assign_buckets",
+    "inverse_cost_weights",
+    "max_relative_change",
+    "normalise_weights",
+    "rebalance_buckets",
+    "rebalance_outstanding",
+    "stable_hash",
+]

@@ -1,0 +1,138 @@
+"""Subplan fragments and their evaluator processes.
+
+A :class:`Fragment` is one deployed instance of a subplan on one
+machine: an operator tree rooted at an exchange producer (or the
+result sink), zero or more exchange-consumer leaves, and the metrics
+object shared by them.  Its :meth:`run` generator is the evaluator
+"thread": it pumps the root iterator, emits M1 monitoring events, and
+handles end-of-stream including reopening when retrospective
+repartitioning replays tuples after a channel had completed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.notifications import M1Event
+from repro.engine.operators.base import END, EvalContext, Operator
+from repro.engine.operators.exchange import ExchangeConsumer, ExchangeProducer
+from repro.engine.operators.hashjoin import HashJoin
+from repro.sim.events import Event
+
+
+class Fragment:
+    """One subplan instance bound to a machine."""
+
+    def __init__(self, ctx: EvalContext, subplan_id: str,
+                 instance_index: int, root: Operator,
+                 consumers: typing.Mapping[str, ExchangeConsumer],
+                 producers: typing.Sequence[ExchangeProducer],
+                 state_operators: typing.Mapping[str, HashJoin] | None = None,
+                 m1_interval: int = 0) -> None:
+        self.ctx = ctx
+        self.env = ctx.env
+        self.subplan_id = subplan_id
+        self.instance_index = instance_index
+        self.instance_id = f"{subplan_id}:{instance_index}"
+        self.root = root
+        #: channel_key -> consumer leaf.
+        self.consumers = dict(consumers)
+        self.producers = list(producers)
+        #: channel_key -> stateful operator whose state that channel built.
+        self.state_operators = dict(state_operators or {})
+        self.m1_interval = m1_interval
+        if isinstance(root, ExchangeProducer):
+            # Acks assert durability of downstream results: consumers
+            # flush the subplan's output before acknowledging.
+            for consumer in self.consumers.values():
+                consumer.ack_flush_producer = root
+        self.reactivated: Event = ctx.env.event()
+        self.completed = False
+        #: Set when the hosting machine crashes: the evaluator stops
+        #: abruptly, without flushing or announcing anything.
+        self.halted = False
+        self._produced_since_m1 = 0
+        self.m1_events_emitted = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_service(self, service) -> None:
+        """Give exchange halves their hosting service for sends/acks."""
+        for producer in self.producers:
+            producer.service = service
+        for consumer in self.consumers.values():
+            consumer.service = service
+
+    def wake(self) -> None:
+        """Signal the evaluator that new input or control arrived."""
+        if not self.reactivated.triggered:
+            self.reactivated.succeed(None)
+
+    def discard_state(self, channel_key: str,
+                      tids: typing.AbstractSet) -> int:
+        """Remove operator state built from retracted tuples."""
+        operator = self.state_operators.get(channel_key)
+        if operator is None:
+            return 0
+        return operator.remove_build(tids)
+
+    # -- the evaluator "thread" ----------------------------------------------
+
+    def run(self, query_complete: Event) -> typing.Generator:
+        yield from self.root.open()
+        # Opening may block for a long time (a hash join's build phase
+        # drains its whole build channel); discard whatever accumulated
+        # so the first M1 batch only measures steady-state processing.
+        self.ctx.metrics.drain_batch()
+        while not self.halted:
+            iteration_start = self.env.now
+            item = yield from self.root.next()
+            if self.halted:
+                break
+            if item is not END:
+                self.ctx.metrics.record_iteration(
+                    self.env.now - iteration_start, 1)
+                yield from self._maybe_emit_m1()
+                continue
+            self.ctx.metrics.record_iteration(
+                self.env.now - iteration_start, 0)
+            # Re-arm before announcing so no wake-up is lost between
+            # the END decision and the wait below.
+            self.reactivated = self.env.event()
+            yield from self.root.finish()
+            if query_complete.triggered:
+                break
+            if any(len(consumer.queue) > 0
+                   for consumer in self.consumers.values()):
+                continue
+            winner, _value = yield self.env.any_of(
+                [query_complete, self.reactivated])
+            if winner is query_complete:
+                break
+        if not self.halted:
+            yield from self.root.close()
+        self.completed = True
+
+    def _maybe_emit_m1(self) -> typing.Generator:
+        monitor = self.ctx.monitor
+        if monitor is None or self.m1_interval <= 0:
+            return
+        self._produced_since_m1 += 1
+        if self._produced_since_m1 < self.m1_interval:
+            return
+        self._produced_since_m1 = 0
+        cost_per_tuple, avg_wait, produced = self.ctx.metrics.drain_batch()
+        if produced == 0:
+            return
+        yield from self.ctx.machine.work(
+            "monitor", self.ctx.cost.monitor_event_work)
+        monitor.submit_m1(M1Event(
+            instance_id=self.instance_id,
+            subplan_id=self.subplan_id,
+            machine_name=self.ctx.machine.name,
+            cost_per_tuple_ms=cost_per_tuple,
+            avg_wait_ms=avg_wait,
+            selectivity=self.ctx.metrics.selectivity,
+            produced_total=self.ctx.metrics.produced,
+            timestamp=self.env.now))
+        self.m1_events_emitted += 1

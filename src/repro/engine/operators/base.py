@@ -1,0 +1,96 @@
+"""Operator protocol for the iterator-model query engine.
+
+OGSA-DQP "adopts the iterator pipelining model of execution" [13]:
+each subplan is driven by one evaluator thread calling ``next()`` down
+an operator chain.  In the simulation an operator's ``open``/``next``/
+``close`` are *generators* so they can wait on simulated time (CPU
+bursts, queue waits, network sends); callers use
+``row = yield from op.next()``.
+
+``next`` returns a :class:`~repro.data.tuples.Row` or the :data:`END`
+sentinel.  After END, ``next`` may be called again: exchange consumers
+can "reopen" when a retrospective repartition replays tuples to them,
+and all operators must tolerate that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import CostModel, EngineConfig
+from repro.engine.metrics import SubplanMetrics
+from repro.grid.container import GridContext
+from repro.grid.machine import Machine
+
+
+class _EndOfStream:
+    """Singleton sentinel returned by ``next`` when a stream ends."""
+
+    def __repr__(self) -> str:
+        return "END"
+
+
+END = _EndOfStream()
+
+
+@dataclasses.dataclass
+class EvalContext:
+    """Shared collaborators for the operators of one subplan instance."""
+
+    grid: GridContext
+    machine: Machine
+    metrics: SubplanMetrics
+    cost: CostModel
+    engine_config: EngineConfig
+    #: Local MonitoringEventDetector hook (None when monitoring is off).
+    monitor: typing.Any = None
+
+    @property
+    def env(self):
+        return self.grid.env
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    def __init__(self, ctx: EvalContext) -> None:
+        self.ctx = ctx
+        self.env = ctx.env
+
+    def open(self) -> typing.Generator:
+        """Prepare for evaluation (recursively opens children)."""
+        return
+        yield  # pragma: no cover - generator form
+
+    def next(self) -> typing.Generator:
+        """Produce the next row, or END."""
+        raise NotImplementedError
+
+    def finish(self) -> typing.Generator:
+        """Root-operator hook run by the evaluator after END.
+
+        Exchange producers flush and announce here; the sink fires its
+        completion event.  Default: no-op.
+        """
+        return
+        yield  # pragma: no cover - generator form
+
+    def close(self) -> typing.Generator:
+        """Release resources (recursively closes children)."""
+        return
+        yield  # pragma: no cover - generator form
+
+
+class UnaryOperator(Operator):
+    """An operator with a single child."""
+
+    def __init__(self, ctx: EvalContext, child: Operator) -> None:
+        super().__init__(ctx)
+        self.child = child
+
+    def open(self) -> typing.Generator:
+        yield from self.child.open()
+
+    def close(self) -> typing.Generator:
+        yield from self.child.close()

@@ -1,0 +1,539 @@
+"""The enhanced exchange operator: producers and consumers.
+
+OGSA-DQP encapsulates all data communication in an exchange operator
+[12] split into two independently running halves (§3.1, Response):
+
+* the :class:`ExchangeProducer` forms the local root of a subplan.  It
+  routes tuples to consumer instances under the current workload
+  vector, ships them in buffers (synchronous, SOAP/HTTP-style sends),
+  inserts checkpoint tuples, keeps per-channel recovery logs, emits the
+  M1/M2 monitoring events, and executes distribution updates — both
+  prospective (R2) and retrospective (R1, replaying recovery logs);
+* the :class:`ExchangeConsumer` forms the leaf of a subplan.  It owns
+  the incoming queue ("the incoming queues within exchanges can fit
+  the complete dataset"), acknowledges checkpoints, tracks per-producer
+  completion via end-of-stream announcements, and applies tuple
+  discards issued during retrospective moves.
+
+Channel completion uses tid-set accounting: a producer announces the
+set of tuple ids attributed to the channel; the channel is complete
+when every announced tid has been settled (returned to the subplan or
+discarded).  Announcements are revised when retrospective moves change
+the attribution, which lets consumers "reopen" safely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.data.tuples import Row, Tid
+from repro.engine.control import (
+    RECHECK,
+    ChannelAnnouncement,
+    DataBuffer,
+    DiscardTuples,
+    ProgressReport,
+)
+from repro.engine.distribution import (
+    DistributionPolicy,
+    HashBucketPolicy,
+    rebalance_outstanding,
+)
+from repro.engine.operators.base import END, EvalContext, Operator, UnaryOperator
+from repro.errors import ExecutionError
+from repro.net.message import KIND_CONTROL, KIND_DATA
+from repro.recovery.checkpoint import Acknowledgement, Checkpoint
+from repro.recovery.log import RecoveryLog
+from repro.sim.stores import Store
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsumerRef:
+    """Address of one consumer instance of a partitioned subplan."""
+
+    endpoint: str       # GQES service endpoint hosting the consumer
+    channel_key: str    # routes to the right consumer inside the GQES
+    instance_id: str    # subplan instance (for monitoring attribution)
+    machine_name: str
+
+
+class ExchangeProducer(UnaryOperator):
+    """Subplan-root exchange half: routes, buffers, ships, logs."""
+
+    def __init__(self, ctx: EvalContext, child: Operator, producer_id: str,
+                 target_subplan_id: str,
+                 consumers: typing.Sequence[ConsumerRef],
+                 policy: DistributionPolicy, row_bytes: int,
+                 estimated_total: int) -> None:
+        super().__init__(ctx, child)
+        if policy.consumer_count != len(consumers):
+            raise ExecutionError(
+                f"{producer_id}: policy for {policy.consumer_count} "
+                f"consumers, got {len(consumers)}")
+        self.producer_id = producer_id
+        self.target_subplan_id = target_subplan_id
+        self.consumers = list(consumers)
+        self.policy = policy
+        self.row_bytes = row_bytes
+        self.estimated_total = estimated_total
+        self.service: typing.Any = None  # attached by the hosting GQES
+        count = len(consumers)
+        self._buffers: list[list] = [[] for _ in range(count)]
+        self._buffer_rows: list[int] = [0] * count
+        self._logs: list[RecoveryLog | None] = [
+            RecoveryLog(ref.channel_key)
+            if ctx.engine_config.logging_enabled else None
+            for ref in consumers]
+        #: Tids currently attributed to each channel (buffered or sent).
+        self._attributed: list[set] = [set() for _ in range(count)]
+        #: Tids actually transmitted on each channel.
+        self._on_wire: list[set] = [set() for _ in range(count)]
+        self._since_checkpoint: list[int] = [0] * count
+        self._checkpoint_seq: list[int] = [0] * count
+        self._channel_sent_rows: list[int] = [0] * count
+        self._announced: list[frozenset | None] = [None] * count
+        self._revision: list[int] = [0] * count
+        self.routed_total = 0
+        self.finished = False
+        self.applied_epoch = 0
+        #: True between the replay and discard phases of an update
+        #: (used by termination detection).
+        self.moving = False
+        self._pending_discards: list[tuple[int, frozenset]] = []
+        #: Most recent update applied (kept so the GDQS can roll an
+        #: orphaned two-phase update forward if the Responder dies).
+        self.last_update = None
+        self.adaptations_applied = 0
+        self.retrospective_moves = 0
+        self.tuples_moved = 0
+        self.tuples_replayed_for_recovery = 0
+        self.buffers_sent = 0
+
+    # -- counters used by experiments -------------------------------------
+
+    @property
+    def sent_per_consumer(self) -> list[int]:
+        """Rows currently attributed per consumer (the tuple ratio)."""
+        return [len(tids) for tids in self._attributed]
+
+    def progress(self) -> ProgressReport:
+        """Progress estimation reply for the Responder ([7])."""
+        return ProgressReport(self.producer_id, self.routed_total,
+                              self.estimated_total)
+
+    # -- iterator protocol -------------------------------------------------
+
+    def next(self) -> typing.Generator:
+        row = yield from self.child.next()
+        if row is END:
+            return END
+        # A replay reopened the subplan after it had finished: clear the
+        # flag so termination detection waits for the new outputs to be
+        # flushed and re-announced.
+        self.finished = False
+        if self.ctx.monitor is not None:
+            yield from self.ctx.machine.work(
+                "instrument", self.ctx.cost.instrument_work_per_tuple)
+        index = self.policy.route(row)
+        yield from self._enqueue(index, row)
+        self.routed_total += 1
+        return row
+
+    def finish(self) -> typing.Generator:
+        """Flush every buffer and announce (or re-announce) channels."""
+        yield from self._flush_all()
+        self.finished = True
+        self._announce_all()
+
+    # -- internals ----------------------------------------------------------
+
+    def _enqueue(self, index: int, row: Row) -> typing.Generator:
+        self._buffers[index].append(row)
+        self._buffer_rows[index] += 1
+        self._attributed[index].add(row.tid)
+        log = self._logs[index]
+        if log is not None:
+            yield from self.ctx.machine.work(
+                "log-append",
+                self.ctx.cost.log_append_work
+                + self.ctx.cost.log_append_work_per_byte * self.row_bytes)
+            log.append(row)
+        self._since_checkpoint[index] += 1
+        self._channel_sent_rows[index] += 1
+        if (log is not None
+                and self._since_checkpoint[index]
+                >= self.ctx.engine_config.checkpoint_interval):
+            self._insert_checkpoint(index)
+        if self._buffer_rows[index] >= self.ctx.engine_config.buffer_size:
+            yield from self._flush(index)
+
+    def _insert_checkpoint(self, index: int) -> None:
+        self._since_checkpoint[index] = 0
+        self._checkpoint_seq[index] += 1
+        marker = Checkpoint(self._checkpoint_seq[index], self.producer_id,
+                            self._channel_sent_rows[index])
+        self._buffers[index].append(marker)
+        log = self._logs[index]
+        if log is not None:
+            log.seal(marker.checkpoint_id)
+
+    def _flush_all(self) -> typing.Generator:
+        for index in range(len(self.consumers)):
+            yield from self._flush(index)
+
+    def _flush(self, index: int) -> typing.Generator:
+        items = self._buffers[index]
+        if not items:
+            return
+        self._buffers[index] = []
+        row_count = self._buffer_rows[index]
+        self._buffer_rows[index] = 0
+        consumer = self.consumers[index]
+        serialization = self.ctx.grid.serialization
+        started = self.env.now
+        yield from self.ctx.machine.work(
+            "serialize", serialization.serialize_work(row_count))
+        payload = DataBuffer(consumer.channel_key, self.producer_id,
+                             items, row_count)
+        wire_bytes = serialization.wire_size(row_count * self.row_bytes)
+        # Synchronous send: the SOAP/HTTP call returns at delivery.
+        yield self.service.send(consumer.endpoint, KIND_DATA, payload,
+                                size_bytes=wire_bytes)
+        send_cost = self.env.now - started
+        self.buffers_sent += 1
+        for item in items:
+            if isinstance(item, Row):
+                self._on_wire[index].add(item.tid)
+        if self.ctx.monitor is not None and row_count:
+            yield from self.ctx.machine.work(
+                "monitor", self.ctx.cost.monitor_event_work)
+            self.ctx.monitor.submit_m2(
+                producer_id=self.producer_id,
+                recipient_channel=consumer.channel_key,
+                send_cost_ms=send_cost,
+                tuple_count=row_count)
+
+    def _announce_all(self) -> None:
+        for index, consumer in enumerate(self.consumers):
+            current = frozenset(self._attributed[index])
+            if self._announced[index] == current:
+                continue
+            self._announced[index] = current
+            self._revision[index] += 1
+            announcement = ChannelAnnouncement(
+                consumer.channel_key, self.producer_id, current,
+                self._revision[index])
+            self.service.send(consumer.endpoint, KIND_CONTROL, announcement)
+
+    # -- distribution updates (the Response stage) ---------------------------
+
+    def redirect_instance(self, instance_id: str, new_endpoint: str
+                          ) -> typing.Generator:
+        """Re-point channels of ``instance_id`` at a replacement host
+        and replay the recovery logs (failure recovery, per [18]).
+
+        Every logged (sent but unacknowledged) tuple of the affected
+        channels is re-sent to the new endpoint; tuples already in the
+        outgoing buffer go there on the next flush anyway.  Returns the
+        number of channels redirected.
+        """
+        redirected = 0
+        for index, ref in enumerate(self.consumers):
+            if ref.instance_id != instance_id:
+                continue
+            self.consumers[index] = dataclasses.replace(
+                ref, endpoint=new_endpoint)
+            self._on_wire[index] = set()
+            self._announced[index] = None  # force a fresh announcement
+            log = self._logs[index]
+            if log is not None:
+                # Re-attribute the channel to what the replacement can
+                # actually receive: the unacknowledged (logged) tuples.
+                # Acknowledged tuples were fully processed and their
+                # outputs flushed downstream before the ack, so they
+                # need no replay and must not be awaited.
+                self._attributed[index] = {
+                    row.tid for row in log.outstanding()}
+            if log is not None:
+                yield from self.ctx.machine.work(
+                    "log-extract",
+                    self.ctx.cost.log_extract_work * max(1, len(log)))
+                buffered_tids = {item.tid for item in self._buffers[index]
+                                 if isinstance(item, Row)}
+                for row in log.outstanding():
+                    if row.tid in buffered_tids:
+                        continue  # still buffered; flushes below
+                    # Direct resend: already logged, must not re-log.
+                    self._buffers[index].append(row)
+                    self._buffer_rows[index] += 1
+                    self.tuples_replayed_for_recovery += 1
+            yield from self._flush(index)
+            redirected += 1
+        if self.finished and redirected:
+            yield from self._flush_all()
+            self._announce_all()
+        return redirected
+
+    def handle_ack(self, ack: Acknowledgement) -> None:
+        """Prune the recovery log up to an acknowledged checkpoint."""
+        for index, consumer in enumerate(self.consumers):
+            if consumer.channel_key == ack.channel_key:
+                log = self._logs[index]
+                if log is not None:
+                    log.acknowledge(ack.checkpoint_id)
+                return
+
+    def apply_update_replay(self, update) -> typing.Generator:
+        """Phase 1 of a distribution update: new policy, then replays.
+
+        Installs the new weights (and bucket map), and for
+        retrospective (R1) updates extracts the moved tuples from the
+        recovery logs and replays them on their new channels, with
+        delivery confirmed before returning.  The matching discards are
+        planned here but only issued by :meth:`apply_update_discard`,
+        so the Responder can sequence replays across all producers of
+        a stateful subplan (build side first) before any state is torn
+        down.
+
+        Returns True when the update was applied (False for a stale
+        epoch).
+        """
+        if update.epoch <= self.applied_epoch:
+            return False
+        self.applied_epoch = update.epoch
+        self.last_update = update
+        self.moving = True
+        if isinstance(self.policy, HashBucketPolicy):
+            self.policy.update_weights(update.weights, update.bucket_map)
+        else:
+            self.policy.update_weights(update.weights)
+        self.adaptations_applied += 1
+        self._pending_discards = []
+        if update.retrospective and self.ctx.engine_config.logging_enabled:
+            self.retrospective_moves += 1
+            yield from self._replay_moves(self._plan_moves())
+        if self.finished:
+            yield from self._flush_all()
+        return True
+
+    def apply_update_discard(self) -> typing.Generator:
+        """Phase 2: retract moved tuples from their old consumers.
+
+        FIFO links guarantee each discard is observed after the data it
+        refers to; revised channel announcements follow the discards on
+        the same links.
+        """
+        for index, discard_tids in self._pending_discards:
+            consumer = self.consumers[index]
+            self.service.send(
+                consumer.endpoint, KIND_CONTROL,
+                DiscardTuples(consumer.channel_key, self.producer_id,
+                              discard_tids))
+        self._pending_discards = []
+        if self.finished:
+            yield from self._flush_all()
+            self._announce_all()
+        self.moving = False
+        return
+        yield  # pragma: no cover - kept a generator for uniform callers
+
+    def _replay_moves(self, moves: dict[int, list[tuple[Row, int]]]
+                      ) -> typing.Generator:
+        """Retract moved tuples from their channels and replay them."""
+        if not any(moves.values()):
+            return
+        for index, channel_moves in moves.items():
+            moved_tids = {row.tid for row, _target in channel_moves}
+            buffered_kept = []
+            for item in self._buffers[index]:
+                if isinstance(item, Row) and item.tid in moved_tids:
+                    self._buffer_rows[index] -= 1
+                else:
+                    buffered_kept.append(item)
+            self._buffers[index] = buffered_kept
+            log = self._logs[index]
+            if log is not None:
+                yield from self.ctx.machine.work(
+                    "log-extract",
+                    self.ctx.cost.log_extract_work * max(1, len(log)))
+                log.remove(moved_tids)
+            self._attributed[index] -= moved_tids
+            discard_tids = moved_tids & self._on_wire[index]
+            self._on_wire[index] -= moved_tids
+            if discard_tids:
+                self._pending_discards.append((index, frozenset(discard_tids)))
+        # Replay moved tuples on their new channels and confirm delivery
+        # (synchronous flush): the receiving consumers observe replayed
+        # state before any discard can tear the old copy down.
+        for channel_moves in moves.values():
+            for row, target in channel_moves:
+                yield from self._enqueue(target, row)
+                self.tuples_moved += 1
+        yield from self._flush_all()
+
+    def _plan_moves(self) -> dict[int, list[tuple[Row, int]]]:
+        """Which outstanding tuples move where under the new policy."""
+        outstanding: dict[int, list[Row]] = {}
+        for index in range(len(self.consumers)):
+            rows = []
+            log = self._logs[index]
+            if log is not None:
+                rows.extend(log.outstanding())
+                buffered_tids = {item.tid for item in self._buffers[index]
+                                 if isinstance(item, Row)}
+                # Buffered rows are also logged; avoid double counting.
+                rows = [row for row in rows if row.tid not in buffered_tids]
+            rows.extend(item for item in self._buffers[index]
+                        if isinstance(item, Row))
+            outstanding[index] = rows
+        if isinstance(self.policy, HashBucketPolicy):
+            moves: dict[int, list[tuple[Row, int]]] = {}
+            for index, rows in outstanding.items():
+                for row in rows:
+                    target = self.policy.route(row)
+                    if target != index:
+                        moves.setdefault(index, []).append((row, target))
+            return moves
+        return rebalance_outstanding(outstanding, self.policy.weights)
+
+
+class ExchangeConsumer(Operator):
+    """Subplan-leaf exchange half: the incoming queue and its protocol."""
+
+    def __init__(self, ctx: EvalContext, channel_key: str,
+                 expected_producers: typing.Sequence[str],
+                 defer_acks: bool = False) -> None:
+        super().__init__(ctx)
+        self.channel_key = channel_key
+        self.expected_producers = list(expected_producers)
+        #: Build channels of stateful operators defer acknowledgements:
+        #: their tuples *are* the operator state and must stay logged.
+        self.defer_acks = defer_acks
+        self.queue = Store(ctx.env)
+        self.service: typing.Any = None  # attached by the hosting GQES
+        #: The fragment's root producer, flushed before each
+        #: acknowledgement: an ack asserts the tuples are "not needed
+        #: any more", which requires their outputs to be durable at the
+        #: next stage (otherwise a crash after the ack loses results
+        #: that no recovery log can regenerate).
+        self.ack_flush_producer: ExchangeProducer | None = None
+        self._settled: dict[str, set] = {
+            pid: set() for pid in self.expected_producers}
+        self._announcements: dict[str, ChannelAnnouncement] = {}
+        self._producer_endpoints: dict[str, str] = {}
+        self.aborted = False
+        self.rows_received = 0
+        self.rows_discarded = 0
+        self.acks_sent = 0
+
+    # -- GQES-facing entry points ------------------------------------------
+
+    def deliver(self, producer_id: str, sender_endpoint: str,
+                items: typing.Sequence) -> None:
+        """Enqueue a deserialized buffer (called by the hosting GQES)."""
+        self._producer_endpoints[producer_id] = sender_endpoint
+        for item in items:
+            self.queue.put((producer_id, item))
+
+    def inject_recheck(self) -> None:
+        """Force the evaluator to re-evaluate channel completion."""
+        self.queue.put((None, RECHECK))
+
+    def apply_discard(self, discard: DiscardTuples) -> int:
+        """Drop retracted tuples still waiting in the queue."""
+        removed = self.queue.remove_if(
+            lambda entry: isinstance(entry[1], Row)
+            and entry[1].tid in discard.tids)
+        self.rows_discarded += len(removed)
+        return len(removed)
+
+    def apply_announcement(self, announcement: ChannelAnnouncement) -> None:
+        """Install (or revise) a producer's end-of-stream announcement."""
+        if announcement.producer_id not in self._settled:
+            self._settled[announcement.producer_id] = set()
+            self.expected_producers.append(announcement.producer_id)
+        current = self._announcements.get(announcement.producer_id)
+        if current is None or announcement.revision > current.revision:
+            self._announcements[announcement.producer_id] = announcement
+
+    def reset_producer(self, producer_id: str) -> None:
+        """Forget a producer's announcement (failure recovery).
+
+        The replacement incarnation re-announces from revision 1;
+        settled tids are kept so re-deliveries remain accounted.
+        """
+        self._announcements.pop(producer_id, None)
+
+    def is_complete(self) -> bool:
+        """All producers announced and every announced tid settled."""
+        for producer_id in self.expected_producers:
+            announcement = self._announcements.get(producer_id)
+            if announcement is None:
+                return False
+            if not announcement.sent_tids <= self._settled[producer_id]:
+                return False
+        return True
+
+    # -- iterator protocol ----------------------------------------------------
+
+    def next(self) -> typing.Generator:
+        while True:
+            if self.aborted:
+                return END
+            # Drain whatever is already queued (rows return, control
+            # items — checkpoints, recheck sentinels — are absorbed)
+            # before judging completion, so sentinels never linger.
+            while len(self.queue) > 0:
+                producer_id, item = yield self.queue.get()
+                row = yield from self._handle(producer_id, item)
+                if row is not None:
+                    return row
+            if self.is_complete():
+                return END
+            waited_from = self.env.now
+            producer_id, item = yield self.queue.get()
+            waited = self.env.now - waited_from
+            if waited > 0:
+                self.ctx.metrics.record_wait(waited)
+            row = yield from self._handle(producer_id, item)
+            if row is not None:
+                return row
+
+    def try_next(self) -> typing.Generator:
+        """Non-blocking variant: a Row, or None when the queue is idle."""
+        while len(self.queue) > 0:
+            producer_id, item = yield self.queue.get()
+            row = yield from self._handle(producer_id, item)
+            if row is not None:
+                return row
+        return None
+
+    def _handle(self, producer_id: str, item: typing.Any
+                ) -> typing.Generator:
+        if item is RECHECK:
+            return None
+        if isinstance(item, Checkpoint):
+            yield from self.ctx.machine.work("ack", self.ctx.cost.ack_work)
+            if not self.defer_acks:
+                if self.ack_flush_producer is not None:
+                    yield from self.ack_flush_producer._flush_all()
+                self._send_ack(item)
+            return None
+        if isinstance(item, Row):
+            self.rows_received += 1
+            self.ctx.metrics.record_consumed()
+            settled = self._settled.setdefault(producer_id, set())
+            settled.add(item.tid)
+            return item
+        raise ExecutionError(
+            f"{self.channel_key}: unexpected queue item {item!r}")
+
+    def _send_ack(self, marker: Checkpoint) -> None:
+        endpoint = self._producer_endpoints.get(marker.producer_id)
+        if endpoint is None or self.service is None:
+            return
+        ack = Acknowledgement(marker.checkpoint_id, marker.producer_id,
+                              self.channel_key)
+        self.service.send(endpoint, KIND_CONTROL, ack)
+        self.acks_sent += 1

@@ -1,0 +1,46 @@
+"""Stateless per-tuple operators: selection and projection."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.data.tuples import Row
+from repro.engine.operators.base import END, EvalContext, Operator, UnaryOperator
+
+
+class Select(UnaryOperator):
+    """Filters rows through a predicate on row values."""
+
+    def __init__(self, ctx: EvalContext, child: Operator,
+                 predicate: typing.Callable[[Row], bool],
+                 description: str = "predicate") -> None:
+        super().__init__(ctx, child)
+        self.predicate = predicate
+        self.description = description
+
+    def next(self) -> typing.Generator:
+        while True:
+            row = yield from self.child.next()
+            if row is END:
+                return END
+            yield from self.ctx.machine.work(
+                "select", self.ctx.cost.select_work)
+            if self.predicate(row):
+                return row
+
+
+class Project(UnaryOperator):
+    """Projects rows onto a list of column positions."""
+
+    def __init__(self, ctx: EvalContext, child: Operator,
+                 positions: typing.Sequence[int]) -> None:
+        super().__init__(ctx, child)
+        self.positions = list(positions)
+
+    def next(self) -> typing.Generator:
+        row = yield from self.child.next()
+        if row is END:
+            return END
+        yield from self.ctx.machine.work(
+            "project", self.ctx.cost.project_work)
+        return row.project(self.positions)

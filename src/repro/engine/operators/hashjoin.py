@@ -1,0 +1,123 @@
+"""Partitioned hash join with repartitionable state.
+
+The build side is drained into an in-memory hash table during
+``open``; probing is pipelined.  The join participates in
+retrospective (R1) state repartitioning:
+
+* :meth:`insert_build` adds late build tuples that were moved *to*
+  this instance (replayed from a producer's recovery log);
+* :meth:`remove_build` drops the state of buckets moved *away*.
+
+During the probe phase the join drains any newly arrived build tuples
+from its build consumer before each probe step, so replays take effect
+immediately.  Exactly-once results are guaranteed by sink-side
+deduplication of the composed (probe tid, build tid) provenance.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.data.tuples import Row, Tid
+from repro.engine.operators.base import END, EvalContext, Operator
+
+#: Work labels, used by perturbations (the paper's Q2 inserts a
+#: sleep() "before the processing of each tuple by the join").
+LABEL_BUILD = "join-build"
+LABEL_PROBE = "join-probe"
+
+
+class HashJoin(Operator):
+    """Blocking-build, pipelined-probe equi-join."""
+
+    def __init__(self, ctx: EvalContext, build_child: Operator,
+                 probe_child: Operator, build_key_position: int,
+                 probe_key_position: int) -> None:
+        super().__init__(ctx)
+        self.build_child = build_child
+        self.probe_child = probe_child
+        self.build_key_position = build_key_position
+        self.probe_key_position = probe_key_position
+        self._table: dict[typing.Any, list[Row]] = {}
+        self._key_of_tid: dict[Tid, typing.Any] = {}
+        self._pending: list[Row] = []
+        self.build_count = 0
+        self.probe_count = 0
+
+    # -- state management (R1 support) ------------------------------------
+
+    @property
+    def state_size(self) -> int:
+        """Number of build tuples currently held as state."""
+        return len(self._key_of_tid)
+
+    def insert_build_row(self, row: Row) -> None:
+        """Add one build tuple to the hash table (idempotent by tid)."""
+        if row.tid in self._key_of_tid:
+            return
+        key = row.values[self.build_key_position]
+        self._table.setdefault(key, []).append(row)
+        self._key_of_tid[row.tid] = key
+        self.build_count += 1
+
+    def remove_build(self, tids: typing.AbstractSet[Tid]) -> int:
+        """Drop build tuples whose provenance is in ``tids``."""
+        removed = 0
+        for tid in tids:
+            key = self._key_of_tid.pop(tid, None)
+            if key is None:
+                continue
+            bucket = self._table.get(key, [])
+            self._table[key] = [r for r in bucket if r.tid != tid]
+            if not self._table[key]:
+                del self._table[key]
+            removed += 1
+        return removed
+
+    # -- evaluation --------------------------------------------------------
+
+    def open(self) -> typing.Generator:
+        yield from self.build_child.open()
+        yield from self.probe_child.open()
+        # Blocking build phase: drain the build channel completely
+        # before probing, so every probe sees the full (local) state.
+        while True:
+            row = yield from self.build_child.next()
+            if row is END:
+                break
+            yield from self.ctx.machine.work(
+                LABEL_BUILD, self.ctx.cost.join_build_work)
+            self.insert_build_row(row)
+
+    def _drain_late_build(self) -> typing.Generator:
+        """Absorb build tuples replayed after the build phase ended."""
+        while True:
+            row = yield from self.build_child.try_next()
+            if row is None or row is END:
+                return
+            yield from self.ctx.machine.work(
+                LABEL_BUILD, self.ctx.cost.join_build_work)
+            self.insert_build_row(row)
+
+    def next(self) -> typing.Generator:
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            yield from self._drain_late_build()
+            probe_row = yield from self.probe_child.next()
+            if probe_row is END:
+                return END
+            yield from self.ctx.machine.work(
+                LABEL_PROBE, self.ctx.cost.join_probe_work)
+            self.probe_count += 1
+            key = probe_row.values[self.probe_key_position]
+            for build_row in self._table.get(key, []):
+                self._pending.append(
+                    probe_row.extend(build_row.values, build_row.tid))
+
+    def close(self) -> typing.Generator:
+        yield from self.build_child.close()
+        yield from self.probe_child.close()
+        self._table.clear()
+        self._key_of_tid.clear()
+        self._pending.clear()

@@ -1,0 +1,39 @@
+"""The operation_call operator: Web Services as typed foreign functions.
+
+"Arbitrary Web Services can play the role of typed foreign functions
+and be invoked from queries (with the operation call operator being
+responsible for the execution)" (§2).  The call's CPU burst carries
+the operation's work label, which is what the paper's WS perturbations
+(10x/20x/30x costlier) target.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.operators.base import END, EvalContext, Operator, UnaryOperator
+from repro.services.ws import WebServiceOperation
+
+
+class OperationCall(UnaryOperator):
+    """Invokes a WS operation per tuple, appending the result column."""
+
+    def __init__(self, ctx: EvalContext, child: Operator,
+                 operation: WebServiceOperation, arg_position: int) -> None:
+        super().__init__(ctx, child)
+        self.operation = operation
+        self.arg_position = arg_position
+        self.calls_made = 0
+
+    def next(self) -> typing.Generator:
+        row = yield from self.child.next()
+        if row is END:
+            return END
+        # Invocation plumbing plus the (perturbable) service work.
+        yield from self.ctx.machine.work(
+            "opcall", self.ctx.cost.opcall_overhead_work)
+        yield from self.ctx.machine.work(
+            self.operation.work_label, self.operation.base_work_ms)
+        result = self.operation.invoke(row.values[self.arg_position])
+        self.calls_made += 1
+        return row.replace_values(row.values + (result,))

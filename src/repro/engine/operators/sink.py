@@ -1,0 +1,62 @@
+"""Result sink: the root of the query plan on the coordinator.
+
+Deduplicates results by provenance id, making the whole pipeline
+exactly-once under retrospective replays, and fires a completion event
+the GDQS uses to measure the query response time.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.data.tuples import Row
+from repro.engine.operators.base import END, EvalContext, Operator, UnaryOperator
+
+
+class ResultSink(UnaryOperator):
+    """Collects deduplicated result rows and signals completion.
+
+    With an attached :class:`~repro.engine.operators.aggregate.
+    GroupAggregator`, accepted rows are additionally folded into their
+    groups and :meth:`final_rows` returns the aggregated output.
+    """
+
+    def __init__(self, ctx: EvalContext, child: Operator,
+                 aggregator=None) -> None:
+        super().__init__(ctx, child)
+        self.aggregator = aggregator
+        self.results: list[Row] = []
+        self._seen: set = set()
+        self.duplicates_dropped = 0
+        self.done = ctx.env.event()
+        #: Time of the most recent completion (updated if late replays
+        #: reopen the result channel).
+        self.completed_at: float | None = None
+
+    def next(self) -> typing.Generator:
+        row = yield from self.child.next()
+        if row is END:
+            return END
+        yield from self.ctx.machine.work("sink", self.ctx.cost.sink_work)
+        if row.tid in self._seen:
+            self.duplicates_dropped += 1
+        else:
+            self._seen.add(row.tid)
+            self.results.append(row)
+            if self.aggregator is not None:
+                self.aggregator.add(row)
+        return row
+
+    def final_rows(self) -> list[Row]:
+        """The query's output rows (aggregated when grouping is on)."""
+        if self.aggregator is not None:
+            return self.aggregator.results()
+        return list(self.results)
+
+    def finish(self) -> typing.Generator:
+        """Completion: all result channels drained and announced."""
+        self.completed_at = self.env.now
+        if not self.done.triggered:
+            self.done.succeed(self.env.now)
+        return
+        yield  # pragma: no cover - generator form

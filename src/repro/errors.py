@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class at API boundaries while the
+subsystems keep precise types for their own failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class NetworkError(ReproError):
+    """Invalid network topology or undeliverable message."""
+
+
+class ServiceError(ReproError):
+    """Service-fabric failures (unknown endpoint, bad dispatch, ...)."""
+
+
+class SchemaError(ReproError):
+    """Schema mismatch or unknown column."""
+
+
+class ParseError(ReproError):
+    """The mini-SQL parser rejected a query string."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not build a valid distributed plan."""
+
+
+class ExecutionError(ReproError):
+    """A query operator failed during evaluation."""
+
+
+class RecoveryError(ReproError):
+    """Checkpoint/recovery-log protocol violation."""
+
+
+class AdaptationError(ReproError):
+    """Invalid adaptivity configuration or control-message state."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""

@@ -1,0 +1,50 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Run them all from the command line::
+
+    python -m repro.experiments all
+
+or individually (``table1``, ``fig2a``, ``fig2b``, ``fig3a``,
+``fig3b``, ``fig4``, ``fig5``, ``overheads``, ``monitoring``,
+``recovery``).
+"""
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    overheads,
+    recovery,
+    table1,
+)
+from repro.experiments.harness import (
+    BaselineCache,
+    ExperimentReport,
+    engine_config_for,
+    execute,
+)
+from repro.experiments.report import render
+
+#: Registry of runnable experiments: id -> zero-argument callable.
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig2a": fig2.run_fig2a,
+    "fig2b": fig2.run_fig2b,
+    "fig3a": fig3.run_fig3a,
+    "fig3b": fig3.run_fig3b,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "overheads": overheads.run_overheads,
+    "recovery": recovery.run,
+    "monitoring": overheads.run_monitoring_frequency,
+}
+
+__all__ = [
+    "BaselineCache",
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "engine_config_for",
+    "execute",
+    "render",
+]

@@ -1,0 +1,35 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, render
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=("Reproduce the tables and figures of 'Adapting to "
+                     "Changing Resource Performance in Grid Query "
+                     "Processing' (VLDB DMG 2005)."))
+    parser.add_argument(
+        "experiments", nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment ids to run ('all' runs every one)")
+    args = parser.parse_args(argv)
+    names = (sorted(EXPERIMENTS) if "all" in args.experiments
+             else args.experiments)
+    for name in names:
+        started = time.time()
+        report = EXPERIMENTS[name]()
+        print(render(report))
+        print(f"[{name} completed in {time.time() - started:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

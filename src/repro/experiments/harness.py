@@ -1,0 +1,86 @@
+"""Shared experiment harness.
+
+Every experiment in the paper's §3.2 is a set of full query runs on
+fresh demo grids, normalised to the *no adaptivity / no imbalance* run
+of the same query and data size.  This module provides the run
+plumbing: grid construction (with recovery logging enabled exactly
+when the response policy is retrospective, mirroring the paper's
+configurations), perturbation application and result caching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import AdaptivityConfig, EngineConfig, RESPONSE_R1
+from repro.dqp.gdqs import QueryResult
+from repro.workloads.proteins import DemoGrid, DemoGridSpec
+from repro.workloads.queries import Q1, Q2
+
+QUERIES = {"Q1": Q1, "Q2": Q2}
+
+
+def engine_config_for(adaptivity: AdaptivityConfig | None) -> EngineConfig:
+    """Recovery logging is active only for retrospective (R1) runs.
+
+    The static system and prospective (R2) runs do not pay the log
+    management cost — that difference is exactly the overhead gap the
+    paper reports between the two response types.
+    """
+    logging_enabled = (adaptivity is not None and adaptivity.enabled
+                       and adaptivity.response == RESPONSE_R1)
+    return EngineConfig(logging_enabled=logging_enabled)
+
+
+def execute(query_key: str,
+            adaptivity: AdaptivityConfig | None = None,
+            perturb: typing.Callable[[DemoGrid], None] | None = None,
+            spec: DemoGridSpec | None = None,
+            degree: int | None = None,
+            engine_config: EngineConfig | None = None) -> QueryResult:
+    """One full query run on a fresh grid."""
+    if query_key not in QUERIES:
+        raise ValueError(f"unknown query {query_key!r}; have Q1, Q2")
+    adaptivity = adaptivity or AdaptivityConfig.disabled()
+    if engine_config is None:
+        engine_config = engine_config_for(adaptivity)
+    grid = DemoGrid(spec=spec, engine_config=engine_config)
+    if perturb is not None:
+        perturb(grid)
+    return grid.run(QUERIES[query_key], adaptivity, degree=degree)
+
+
+class BaselineCache:
+    """Caches the no-ad/no-imb response time per (query, spec)."""
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def baseline_ms(self, query_key: str,
+                    spec: DemoGridSpec | None = None) -> float:
+        key = (query_key, spec)
+        if key not in self._cache:
+            result = execute(query_key, AdaptivityConfig.disabled(),
+                             spec=spec)
+            self._cache[key] = result.response_time_ms
+        return self._cache[key]
+
+    def normalised(self, result: QueryResult, query_key: str,
+                   spec: DemoGridSpec | None = None) -> float:
+        """Response time in paper units (baseline = 1.0)."""
+        return result.response_time_ms / self.baseline_ms(query_key, spec)
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """Output of one experiment: rows to print and compare."""
+
+    experiment_id: str
+    title: str
+    columns: list
+    rows: list
+    notes: str = ""
+
+    def row_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]

@@ -1,0 +1,36 @@
+"""Plain-text rendering of experiment reports."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.harness import ExperimentReport
+
+
+def _format_cell(value: typing.Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render(report: ExperimentReport) -> str:
+    """Render a report as an aligned text table."""
+    header = [str(c) for c in report.columns]
+    body = [[_format_cell(cell) for cell in row] for row in report.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out = [f"== {report.experiment_id}: {report.title} ==",
+           line(header),
+           line(["-" * w for w in widths])]
+    out.extend(line(row) for row in body)
+    if report.notes:
+        out.append("")
+        out.append(report.notes)
+    return "\n".join(out)

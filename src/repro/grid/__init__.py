@@ -1,0 +1,31 @@
+"""Simulated Grid fabric: machines, perturbations, registry, context."""
+
+from repro.grid.container import GridContext
+from repro.grid.machine import Machine
+from repro.grid.perturbation import (
+    CostFactor,
+    JitterFactor,
+    Perturbation,
+    SleepInjection,
+    StochasticCostFactor,
+    WorkEffect,
+)
+from repro.grid.registry import (
+    OperationMetadata,
+    ResourceRegistry,
+    TableMetadata,
+)
+
+__all__ = [
+    "CostFactor",
+    "GridContext",
+    "JitterFactor",
+    "Machine",
+    "OperationMetadata",
+    "Perturbation",
+    "ResourceRegistry",
+    "SleepInjection",
+    "StochasticCostFactor",
+    "TableMetadata",
+    "WorkEffect",
+]

@@ -1,0 +1,115 @@
+"""Resource registry and metadata catalog.
+
+OGSA-DQP's GDQS "contacts resource registries that contain the
+addresses of the computational and data resources available and
+updates the metadata catalog of the system" (§2).  This module is that
+registry: it records which machines exist, which may evaluate query
+fragments, where each table's Grid Data Service lives, and which Web
+Service operations are available on which machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlanningError
+from repro.grid.machine import Machine
+
+
+@dataclasses.dataclass
+class TableMetadata:
+    """Catalog entry for a table exposed as a Grid Data Service."""
+
+    table_name: str
+    gds_endpoint: str
+    machine_name: str
+    cardinality: int
+    tuple_bytes: int
+
+
+@dataclasses.dataclass
+class OperationMetadata:
+    """Catalog entry for a Web Service operation (typed foreign function)."""
+
+    operation_name: str
+    machine_names: list[str]
+    base_work_ms: float
+
+
+class ResourceRegistry:
+    """Names and metadata for every resource on the simulated Grid."""
+
+    def __init__(self) -> None:
+        self._machines: dict[str, Machine] = {}
+        self._compute_machines: list[str] = []
+        self._spare_machines: list[str] = []
+        self._tables: dict[str, TableMetadata] = {}
+        self._operations: dict[str, OperationMetadata] = {}
+
+    # -- machines --------------------------------------------------------
+
+    def add_machine(self, machine: Machine, compute: bool = True,
+                    spare: bool = False) -> None:
+        """Register ``machine``.
+
+        ``compute`` marks it schedulable by the optimizer; ``spare``
+        marks it a standby used only by failure recovery.
+        """
+        if machine.name in self._machines:
+            raise PlanningError(f"duplicate machine: {machine.name}")
+        self._machines[machine.name] = machine
+        if compute:
+            self._compute_machines.append(machine.name)
+        if spare:
+            self._spare_machines.append(machine.name)
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise PlanningError(f"unknown machine: {name}") from None
+
+    def machines(self) -> list[Machine]:
+        return list(self._machines.values())
+
+    def compute_machines(self) -> list[str]:
+        """Names of machines the optimizer may schedule fragments on."""
+        return list(self._compute_machines)
+
+    def spare_machines(self) -> list[str]:
+        """Standby machines reserved for failure recovery."""
+        return list(self._spare_machines)
+
+    # -- tables ------------------------------------------------------------
+
+    def add_table(self, metadata: TableMetadata) -> None:
+        if metadata.table_name in self._tables:
+            raise PlanningError(f"duplicate table: {metadata.table_name}")
+        self._tables[metadata.table_name] = metadata
+
+    def table(self, table_name: str) -> TableMetadata:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise PlanningError(f"unknown table: {table_name}") from None
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    # -- operations ----------------------------------------------------------
+
+    def add_operation(self, metadata: OperationMetadata) -> None:
+        if metadata.operation_name in self._operations:
+            raise PlanningError(
+                f"duplicate operation: {metadata.operation_name}")
+        self._operations[metadata.operation_name] = metadata
+
+    def operation(self, operation_name: str) -> OperationMetadata:
+        try:
+            return self._operations[operation_name]
+        except KeyError:
+            raise PlanningError(
+                f"unknown operation: {operation_name}") from None
+
+    def has_operation(self, operation_name: str) -> bool:
+        return operation_name in self._operations

@@ -1,0 +1,27 @@
+"""Simulated network: messages, links, routing and serialization costs."""
+
+from repro.net.link import Link
+from repro.net.message import (
+    KIND_CONTROL,
+    KIND_DATA,
+    KIND_NOTIFY,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    Message,
+)
+from repro.net.network import Endpoint, Network, NetworkConfig
+from repro.net.serialization import SerializationModel
+
+__all__ = [
+    "Endpoint",
+    "KIND_CONTROL",
+    "KIND_DATA",
+    "KIND_NOTIFY",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "Link",
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "SerializationModel",
+]

@@ -1,0 +1,48 @@
+"""Message envelopes exchanged between Grid services.
+
+Everything that crosses machine boundaries in the simulation — tuple
+buffers, monitoring notifications, adaptation control, request/response
+calls — is a :class:`Message`.  The ``kind`` field selects the dispatch
+path in :class:`repro.services.base.GridService`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+#: Message kinds understood by the service dispatcher.
+KIND_DATA = "data"          # tuple buffers between exchange operators
+KIND_NOTIFY = "notify"      # asynchronous pub/sub notifications
+KIND_REQUEST = "request"    # request half of a service call
+KIND_RESPONSE = "response"  # response half of a service call
+KIND_CONTROL = "control"    # engine-level control (discards, EOS, ...)
+
+_message_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Message:
+    """A single network message.
+
+    ``size_bytes`` is the on-the-wire size (payload plus protocol
+    envelope) used by the link model to compute the transfer time.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: typing.Any
+    size_bytes: int = 256
+    #: Operation name for requests / topic for notifications.
+    subject: str = ""
+    #: Correlates a response with its request.
+    correlation_id: int | None = None
+    msg_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
+    sent_at: float | None = None
+    delivered_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")

@@ -1,0 +1,54 @@
+"""Query compilation: parsing, logical planning, physical scheduling."""
+
+from repro.planner.ast import (
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    Literal,
+    SelectQuery,
+    TableRef,
+)
+from repro.planner.logical import (
+    LogicalApply,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalScan,
+    build_logical_plan,
+)
+from repro.planner.optimizer import optimize
+from repro.planner.parser import parse, tokenize
+from repro.planner.physical import (
+    COMPUTE_SUBPLAN,
+    ComputeSubplan,
+    FEED_SUBPLAN_PREFIX,
+    PhysicalPlan,
+    POLICY_HASH,
+    POLICY_WRR,
+    ROOT_SUBPLAN,
+    ScanSubplan,
+)
+
+__all__ = [
+    "COMPUTE_SUBPLAN",
+    "ColumnRef",
+    "Comparison",
+    "ComputeSubplan",
+    "FEED_SUBPLAN_PREFIX",
+    "FunctionCall",
+    "Literal",
+    "LogicalApply",
+    "LogicalJoin",
+    "LogicalPlan",
+    "LogicalScan",
+    "POLICY_HASH",
+    "POLICY_WRR",
+    "PhysicalPlan",
+    "ROOT_SUBPLAN",
+    "ScanSubplan",
+    "SelectQuery",
+    "TableRef",
+    "build_logical_plan",
+    "optimize",
+    "parse",
+    "tokenize",
+]

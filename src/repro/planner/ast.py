@@ -1,0 +1,134 @@
+"""Abstract syntax tree for the supported query class.
+
+The demo query class of OGSA-DQP's evaluation: single-block
+SELECT-FROM-WHERE over one or two tables, with optional Web Service
+calls in the select list, one equi-join predicate, and simple
+column-op-literal filters.  Q1 and Q2 from the paper are::
+
+    select EntropyAnalyser(p.sequence) from protein_sequences p
+
+    select i.ORF2 from protein_sequences p, protein_interactions i
+    where i.ORF1 = p.ORF
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef:
+    """A possibly alias-qualified column reference."""
+
+    name: str
+
+    @property
+    def alias(self) -> str | None:
+        if "." in self.name:
+            return self.name.split(".", 1)[0]
+        return None
+
+    @property
+    def column(self) -> str:
+        if "." in self.name:
+            return self.name.split(".", 1)[1]
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionCall:
+    """A WS operation applied to one column, e.g. ``Entropy(p.seq)``."""
+
+    function_name: str
+    argument: ColumnRef
+
+
+class Star:
+    """The ``*`` argument of ``count(*)``."""
+
+    _instance: typing.ClassVar["Star | None"] = None
+
+    def __new__(cls) -> "Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "*"
+
+
+STAR = Star()
+
+#: Recognised aggregate function names (case-insensitive).
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate over a column, ``*``, or a WS-call result."""
+
+    function_name: str
+    argument: typing.Union[ColumnRef, FunctionCall, Star]
+
+    def __post_init__(self) -> None:
+        if self.function_name.lower() not in AGGREGATE_FUNCTIONS:
+            raise ValueError(
+                f"not an aggregate function: {self.function_name}")
+
+
+SelectItem = typing.Union[ColumnRef, FunctionCall, AggregateCall]
+
+
+@dataclasses.dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry with an optional alias."""
+
+    table_name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.table_name
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal:
+    """A string or numeric constant."""
+
+    value: typing.Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """``left op right``; a join predicate when both sides are columns."""
+
+    left: ColumnRef
+    op: str
+    right: typing.Union[ColumnRef, Literal]
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.right, ColumnRef)
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectQuery:
+    """A parsed single-block query."""
+
+    items: tuple
+    tables: tuple
+    conditions: tuple = ()
+    group_by: tuple = ()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(item, AggregateCall) for item in self.items)
+
+    @property
+    def join_conditions(self) -> list[Comparison]:
+        return [c for c in self.conditions if c.is_join]
+
+    @property
+    def filter_conditions(self) -> list[Comparison]:
+        return [c for c in self.conditions if not c.is_join]

@@ -1,0 +1,199 @@
+"""Hand-written recursive-descent parser for the demo query class.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT item (',' item)* FROM table (',' table)*
+                  [WHERE condition (AND condition)*]
+                  [GROUP BY colref (',' colref)*] [';']
+    item       := IDENT '(' '*' ')'                -- count(*)
+                | IDENT '(' operand ')'            -- WS call / aggregate
+                | colref
+    operand    := IDENT '(' colref ')' | colref    -- e.g. avg(Ws(c.x))
+    table      := IDENT [IDENT]
+    condition  := colref op (colref | literal)
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+    colref     := IDENT ['.' IDENT]
+    literal    := STRING | NUMBER
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+from repro.errors import ParseError
+from repro.planner.ast import (
+    AGGREGATE_FUNCTIONS,
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    Literal,
+    STAR,
+    SelectQuery,
+    TableRef,
+)
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<number>\d+(?:\.\d+)?)
+      | (?P<string>'[^']*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|=|<|>)
+      | (?P<punct>[(),.;*])
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"select", "from", "where", "and", "group", "by"}
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    """Split ``text`` into (kind, value) tokens."""
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise ParseError(
+                f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(("keyword", value.lower()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        token = self.advance()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(
+                f"expected {value or kind}, got {token[1]!r}")
+        return token[1]
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token and token[0] == kind and (value is None
+                                           or token[1] == value):
+            self.position += 1
+            return True
+        return False
+
+    # -- grammar productions -----------------------------------------------
+
+    def query(self) -> SelectQuery:
+        self.expect("keyword", "select")
+        items = [self.select_item()]
+        while self.accept("punct", ","):
+            items.append(self.select_item())
+        self.expect("keyword", "from")
+        tables = [self.table_ref()]
+        while self.accept("punct", ","):
+            tables.append(self.table_ref())
+        conditions: list[Comparison] = []
+        if self.accept("keyword", "where"):
+            conditions.append(self.condition())
+            while self.accept("keyword", "and"):
+                conditions.append(self.condition())
+        group_by: list[ColumnRef] = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by.append(self.column_ref())
+            while self.accept("punct", ","):
+                group_by.append(self.column_ref())
+        self.accept("punct", ";")
+        if self.peek() is not None:
+            raise ParseError(
+                f"trailing input after query: {self.peek()[1]!r}")
+        return SelectQuery(tuple(items), tuple(tables), tuple(conditions),
+                           tuple(group_by))
+
+    def select_item(self):
+        name = self.expect("ident")
+        if not self.accept("punct", "("):
+            return self._qualify(name)
+        is_aggregate = name.lower() in AGGREGATE_FUNCTIONS
+        if self.accept("punct", "*"):
+            self.expect("punct", ")")
+            if name.lower() != "count":
+                raise ParseError("'*' is only valid inside count(*)")
+            return AggregateCall(name, STAR)
+        argument = self.call_operand()
+        self.expect("punct", ")")
+        if is_aggregate:
+            return AggregateCall(name, argument)
+        if isinstance(argument, FunctionCall):
+            raise ParseError(
+                f"nested call inside non-aggregate {name!r}")
+        return FunctionCall(name, argument)
+
+    def call_operand(self):
+        """A column reference or a nested single-argument call."""
+        name = self.expect("ident")
+        if self.accept("punct", "("):
+            inner = self.column_ref()
+            self.expect("punct", ")")
+            return FunctionCall(name, inner)
+        return self._qualify(name)
+
+    def _qualify(self, name: str) -> ColumnRef:
+        if self.accept("punct", "."):
+            column = self.expect("ident")
+            return ColumnRef(f"{name}.{column}")
+        return ColumnRef(name)
+
+    def column_ref(self) -> ColumnRef:
+        return self._qualify(self.expect("ident"))
+
+    def table_ref(self) -> TableRef:
+        name = self.expect("ident")
+        token = self.peek()
+        if token and token[0] == "ident":
+            return TableRef(name, self.advance()[1])
+        return TableRef(name)
+
+    def condition(self) -> Comparison:
+        left = self.column_ref()
+        op = self.expect("op")
+        token = self.peek()
+        if token is None:
+            raise ParseError("condition missing right-hand side")
+        if token[0] == "ident":
+            right: typing.Union[ColumnRef, Literal] = self.column_ref()
+        elif token[0] == "number":
+            self.advance()
+            text = token[1]
+            right = Literal(float(text) if "." in text else int(text))
+        elif token[0] == "string":
+            self.advance()
+            right = Literal(token[1][1:-1])
+        else:
+            raise ParseError(f"bad condition operand {token[1]!r}")
+        return Comparison(left, op, right)
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse ``text`` into a :class:`SelectQuery`."""
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    return _Parser(tokenize(text)).query()

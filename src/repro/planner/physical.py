@@ -1,0 +1,94 @@
+"""Physical (distributed) plans.
+
+A physical plan fixes every decision the deployment needs: which
+machine scans each table, which machines evaluate the partitioned
+compute subplan, the distribution policy (weighted round-robin for
+stateless pipelines, hash-bucket for joins), initial weights, and
+per-channel byte widths.  The actual operator trees are instantiated
+by :mod:`repro.dqp.deployment`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.data.schema import Schema
+from repro.planner.logical import LogicalPlan
+
+#: Subplan identifiers used throughout deployment and adaptation.
+FEED_SUBPLAN_PREFIX = "feed"
+COMPUTE_SUBPLAN = "compute"
+ROOT_SUBPLAN = "root"
+
+#: Distribution policy kinds.
+POLICY_WRR = "wrr"
+POLICY_HASH = "hash"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanSubplan:
+    """A scan (+ pushed-down filters) rooted by an exchange producer."""
+
+    subplan_id: str
+    table_name: str
+    machine_name: str
+    #: Port on the compute subplan this scan feeds (0 = build side).
+    target_port: int
+    #: Column position of the partitioning key (None for stateless).
+    key_position: int | None
+    row_bytes: int
+    estimated_total: int
+    filters: tuple = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeSubplan:
+    """The partitioned middle subplan (WS calls or join + project)."""
+
+    subplan_id: str
+    machine_names: tuple
+    #: "wrr" or "hash"; hash requires a shared bucket map.
+    policy_kind: str
+    initial_weights: tuple
+    #: Join key positions (build, probe); None for non-join pipelines.
+    join_keys: tuple | None
+    #: (function_name, argument_position) apply steps, in order.
+    applies: tuple
+    project_positions: tuple
+    output_row_bytes: int
+    estimated_output: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PhysicalPlan:
+    """Everything needed to deploy a distributed query."""
+
+    query_id: str
+    scans: tuple
+    compute: ComputeSubplan
+    coordinator_machine: str
+    output_schema: Schema
+    logical: LogicalPlan
+
+    @property
+    def aggregation(self):
+        """Coordinator-side aggregation spec, or None."""
+        return self.logical.aggregation
+
+    @property
+    def partitioning_degree(self) -> int:
+        return len(self.compute.machine_names)
+
+    def machines_used(self) -> list[str]:
+        """All distinct machine names participating in the query."""
+        names: list[str] = []
+        for scan in self.scans:
+            if scan.machine_name not in names:
+                names.append(scan.machine_name)
+        for name in self.compute.machine_names:
+            if name not in names:
+                names.append(name)
+        if self.coordinator_machine not in names:
+            names.append(self.coordinator_machine)
+        return names

@@ -1,0 +1,6 @@
+"""Fault-tolerance substrate reused for state repartitioning (R1)."""
+
+from repro.recovery.checkpoint import Acknowledgement, Checkpoint
+from repro.recovery.log import RecoveryLog
+
+__all__ = ["Acknowledgement", "Checkpoint", "RecoveryLog"]

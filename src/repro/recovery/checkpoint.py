@@ -1,0 +1,37 @@
+"""Checkpoint and acknowledgement markers.
+
+The fault-tolerance infrastructure of [18] (Smith & Watson 2004) has
+exchange producers insert *checkpoint tuples* into the data stream;
+when every tuple between two checkpoints has finished processing and
+is no longer needed upstream, the consumer returns the checkpoint as
+an *acknowledgement tuple* and the producer prunes its recovery log.
+The adaptivity work reuses exactly this machinery for retrospective
+(R1) state repartitioning, so only these pieces are implemented.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """A checkpoint marker embedded in a data stream.
+
+    ``preceding_count`` is the number of data tuples sent on the
+    channel before this marker, letting the consumer sanity-check the
+    protocol.
+    """
+
+    checkpoint_id: int
+    producer_id: str
+    preceding_count: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Acknowledgement:
+    """Returned by a consumer once a checkpoint's tuples are finished."""
+
+    checkpoint_id: int
+    producer_id: str
+    channel_key: str

@@ -1,0 +1,99 @@
+"""Producer-side recovery logs.
+
+"In practice, the recovery logs contain, at any point, the tuples that
+have not finished being processed by the evaluators to which they were
+sent, and thus include all the in-transit tuples, and the tuples that
+make up operator states.  This provides an opportunity to repartition
+state across consumer nodes by extracting the tuples stored in the
+recovery logs" (§3.1, Response).
+
+One :class:`RecoveryLog` exists per (producer, consumer channel).  It
+holds checkpoint-delimited segments of sent-but-unacknowledged tuples;
+an acknowledgement prunes every segment up to its checkpoint id.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.data.tuples import Row, Tid
+from repro.errors import RecoveryError
+
+
+class RecoveryLog:
+    """Checkpoint-segmented log of unacknowledged tuples for a channel."""
+
+    def __init__(self, channel_key: str) -> None:
+        self.channel_key = channel_key
+        self._sealed: "collections.OrderedDict[int, list[Row]]" = (
+            collections.OrderedDict())
+        self._open: list[Row] = []
+        self._last_sealed_id: int | None = None
+        self.appended_total = 0
+        self.acknowledged_total = 0
+
+    def __len__(self) -> int:
+        return sum(len(seg) for seg in self._sealed.values()) + len(self._open)
+
+    def append(self, row: Row) -> None:
+        """Log a tuple just sent on this channel."""
+        self._open.append(row)
+        self.appended_total += 1
+
+    def seal(self, checkpoint_id: int) -> None:
+        """Close the open segment under ``checkpoint_id``."""
+        if (self._last_sealed_id is not None
+                and checkpoint_id <= self._last_sealed_id):
+            raise RecoveryError(
+                f"{self.channel_key}: checkpoint ids must increase "
+                f"({checkpoint_id} after {self._last_sealed_id})")
+        self._sealed[checkpoint_id] = self._open
+        self._open = []
+        self._last_sealed_id = checkpoint_id
+
+    def acknowledge(self, checkpoint_id: int) -> int:
+        """Prune segments up to ``checkpoint_id``; returns tuples freed."""
+        freed = 0
+        for sealed_id in list(self._sealed):
+            if sealed_id > checkpoint_id:
+                break
+            freed += len(self._sealed.pop(sealed_id))
+        self.acknowledged_total += freed
+        return freed
+
+    def outstanding(self) -> list[Row]:
+        """Every logged (sent but unacknowledged) tuple, oldest first."""
+        rows: list[Row] = []
+        for segment in self._sealed.values():
+            rows.extend(segment)
+        rows.extend(self._open)
+        return rows
+
+    def remove(self, tids: typing.AbstractSet[Tid]) -> list[Row]:
+        """Remove (and return) logged tuples whose tid is in ``tids``.
+
+        Used when a retrospective repartition moves tuples to another
+        consumer: they leave this channel's log and are re-logged on
+        the new channel when resent.
+        """
+        removed: list[Row] = []
+
+        def filter_segment(segment: list[Row]) -> list[Row]:
+            kept = []
+            for row in segment:
+                if row.tid in tids:
+                    removed.append(row)
+                else:
+                    kept.append(row)
+            return kept
+
+        for sealed_id in list(self._sealed):
+            self._sealed[sealed_id] = filter_segment(self._sealed[sealed_id])
+        self._open = filter_segment(self._open)
+        return removed
+
+    def clear(self) -> None:
+        """Drop everything (query complete)."""
+        self._sealed.clear()
+        self._open.clear()

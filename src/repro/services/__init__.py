@@ -1,0 +1,20 @@
+"""Grid service fabric: base service, pub/sub, data and WS services."""
+
+from repro.services.base import CONTROL_MESSAGE_BYTES, GridService
+from repro.services.gds import GridDataService
+from repro.services.pubsub import NotificationPublisher
+from repro.services.ws import (
+    WebServiceOperation,
+    make_entropy_analyser,
+    shannon_entropy,
+)
+
+__all__ = [
+    "CONTROL_MESSAGE_BYTES",
+    "GridDataService",
+    "GridService",
+    "NotificationPublisher",
+    "WebServiceOperation",
+    "make_entropy_analyser",
+    "shannon_entropy",
+]

@@ -1,0 +1,193 @@
+"""Grid service base class.
+
+Services are the paper's unit of deployment: loosely-coupled,
+machine-bound components that communicate asynchronously by message.
+A :class:`GridService` owns a network endpoint and a dispatch loop
+that routes incoming messages:
+
+* ``request`` messages invoke ``op_<subject>`` generator methods and
+  send the returned value back as a ``response``;
+* ``notify`` messages invoke :meth:`on_notification` (pub/sub);
+* ``data`` and ``control`` messages invoke :meth:`on_data` and
+  :meth:`on_control`, which engine-level services override.
+
+The synchronous-looking :meth:`call` helper performs a full
+request/response round trip over the simulated network, so control
+interactions (e.g. the Responder polling producers for progress) pay
+realistic latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.errors import ServiceError
+from repro.grid.container import GridContext
+from repro.net.message import (
+    KIND_CONTROL,
+    KIND_DATA,
+    KIND_NOTIFY,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    Message,
+)
+from repro.sim.events import Event
+
+#: Wire size assumed for small control/notification payloads.
+CONTROL_MESSAGE_BYTES = 768
+
+_correlation_ids = itertools.count(1)
+
+
+class GridService:
+    """Base class for all simulated Grid services."""
+
+    def __init__(self, context: GridContext, name: str,
+                 machine_name: str) -> None:
+        self.context = context
+        self.env = context.env
+        self.network = context.network
+        self.name = name
+        self.machine = context.registry.machine(machine_name)
+        self.mailbox = self.network.register(name, machine_name)
+        self._pending_calls: dict[int, Event] = {}
+        self._running = True
+        self.crashed = False
+        self._dispatcher = self.env.process(
+            self._dispatch_loop(), name=f"dispatch:{name}")
+        context.track_service(self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop dispatching and release the endpoint."""
+        self._running = False
+        self.network.unregister(self.name)
+
+    def crash(self) -> None:
+        """Simulate a host failure taking this service down.
+
+        Dispatching stops, the endpoint is deactivated (messages to it
+        are blackholed, as a dead LAN peer would), and the
+        :meth:`on_crash` hook lets subclasses halt their internal
+        activity.  Crashing is idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._running = False
+        self.network.deactivate(self.name)
+        self.on_crash()
+
+    def on_crash(self) -> None:
+        """Subclass hook run when the service crashes (default: none)."""
+
+    # -- outgoing ---------------------------------------------------------
+
+    def send(self, recipient: str, kind: str, payload: typing.Any,
+             subject: str = "", size_bytes: int = CONTROL_MESSAGE_BYTES,
+             correlation_id: int | None = None) -> Event:
+        """Fire-and-forget message send; returns the delivery event."""
+        if self.crashed:
+            # A crashed host sends nothing; pretend instant "delivery"
+            # so any in-flight process winds down without errors.
+            return Event(self.env).succeed(None)
+        message = Message(sender=self.name, recipient=recipient, kind=kind,
+                          payload=payload, size_bytes=size_bytes,
+                          subject=subject, correlation_id=correlation_id)
+        return self.network.send(message)
+
+    def notify(self, recipient: str, topic: str,
+               payload: typing.Any) -> Event:
+        """Send an asynchronous pub/sub notification."""
+        return self.send(recipient, KIND_NOTIFY, payload, subject=topic)
+
+    def call(self, recipient: str, operation: str,
+             payload: typing.Any = None, timeout_ms: float | None = None
+             ) -> typing.Generator[Event, typing.Any, typing.Any]:
+        """Request/response round trip: ``result = yield from call(...)``.
+
+        With ``timeout_ms`` set, a missing response (e.g. the recipient
+        crashed) raises :class:`~repro.errors.ServiceError` instead of
+        blocking forever.
+        """
+        correlation_id = next(_correlation_ids)
+        reply = self.env.event()
+        self._pending_calls[correlation_id] = reply
+        self.send(recipient, KIND_REQUEST, payload, subject=operation,
+                  correlation_id=correlation_id)
+        if timeout_ms is None:
+            response = yield reply
+            return response
+        winner, value = yield self.env.any_of(
+            [reply, self.env.timeout(timeout_ms)])
+        if winner is not reply:
+            self._pending_calls.pop(correlation_id, None)
+            raise ServiceError(
+                f"{self.name}: call {operation!r} to {recipient} timed "
+                f"out after {timeout_ms} ms")
+        return value
+
+    # -- incoming ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> typing.Generator:
+        while self._running:
+            message = yield self.mailbox.get()
+            self._route(message)
+
+    def _route(self, message: Message) -> None:
+        if message.kind == KIND_RESPONSE:
+            self._complete_call(message)
+        elif message.kind == KIND_REQUEST:
+            self.env.process(self._serve_request(message),
+                             name=f"{self.name}:op:{message.subject}")
+        elif message.kind == KIND_NOTIFY:
+            self.on_notification(message.subject, message.payload,
+                                 message.sender)
+        elif message.kind == KIND_DATA:
+            self.on_data(message)
+        elif message.kind == KIND_CONTROL:
+            self.on_control(message)
+        else:
+            raise ServiceError(
+                f"{self.name}: unknown message kind {message.kind!r}")
+
+    def _complete_call(self, message: Message) -> None:
+        reply = self._pending_calls.pop(message.correlation_id, None)
+        if reply is None:
+            raise ServiceError(
+                f"{self.name}: unexpected response "
+                f"(correlation {message.correlation_id})")
+        if isinstance(message.payload, BaseException):
+            reply.fail(message.payload)
+        else:
+            reply.succeed(message.payload)
+
+    def _serve_request(self, message: Message) -> typing.Generator:
+        handler = getattr(self, f"op_{message.subject}", None)
+        if handler is None:
+            result: typing.Any = ServiceError(
+                f"{self.name}: no operation {message.subject!r}")
+        else:
+            try:
+                result = yield from handler(message.payload, message.sender)
+            except Exception as exc:  # delivered to the caller
+                result = exc
+        self.send(message.sender, KIND_RESPONSE, result,
+                  subject=message.subject,
+                  correlation_id=message.correlation_id)
+
+    # -- overridable hooks ---------------------------------------------------
+
+    def on_notification(self, topic: str, payload: typing.Any,
+                        sender: str) -> None:
+        """Handle a pub/sub notification (default: ignore)."""
+
+    def on_data(self, message: Message) -> None:
+        """Handle a tuple-buffer message (engine services override)."""
+        raise ServiceError(f"{self.name}: unexpected data message")
+
+    def on_control(self, message: Message) -> None:
+        """Handle an engine control message (engine services override)."""
+        raise ServiceError(f"{self.name}: unexpected control message")

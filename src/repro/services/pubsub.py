@@ -1,0 +1,58 @@
+"""Publish/subscribe support for adaptivity components.
+
+The paper's adaptivity components "can subscribe to each other and
+communicate asynchronously via notifications" (§2).
+:class:`NotificationPublisher` is a mixin for services that maintain
+per-topic subscriber lists and fan notifications out over the network.
+Subscriptions may be established either by a direct API call during
+wiring (the coordinator knows the endpoints) or remotely through the
+``op_subscribe`` service operation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ServiceError
+
+
+class NotificationPublisher:
+    """Mixin adding topic-based publication to a GridService."""
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list[str]] = {}
+        self.notifications_published = 0
+
+    def subscribe(self, topic: str, endpoint: str) -> None:
+        """Register ``endpoint`` for notifications on ``topic``."""
+        subscribers = self._subscribers.setdefault(topic, [])
+        if endpoint not in subscribers:
+            subscribers.append(endpoint)
+
+    def unsubscribe(self, topic: str, endpoint: str) -> None:
+        subscribers = self._subscribers.get(topic, [])
+        if endpoint in subscribers:
+            subscribers.remove(endpoint)
+
+    def subscribers_of(self, topic: str) -> list[str]:
+        return list(self._subscribers.get(topic, []))
+
+    def publish(self, topic: str, payload: typing.Any) -> int:
+        """Notify every subscriber of ``topic``; returns the fan-out."""
+        notify = getattr(self, "notify", None)
+        if notify is None:
+            raise ServiceError(
+                "NotificationPublisher must be mixed into a GridService")
+        subscribers = self._subscribers.get(topic, [])
+        for endpoint in subscribers:
+            notify(endpoint, topic, payload)
+        self.notifications_published += len(subscribers)
+        return len(subscribers)
+
+    # Remote subscription endpoint (GridService op_ convention).
+    def op_subscribe(self, payload: dict, sender: str
+                     ) -> typing.Generator:
+        """Service operation: ``{"topic": ...}`` subscribes the sender."""
+        self.subscribe(payload["topic"], sender)
+        return "subscribed"
+        yield  # pragma: no cover - generator form required by dispatcher

@@ -1,0 +1,66 @@
+"""Web Service operations as typed foreign functions.
+
+OGSA-DQP lets "arbitrary Web Services play the role of typed foreign
+functions" invoked by the operation_call operator (§2).  A
+:class:`WebServiceOperation` couples a real Python function (so query
+results are genuine values) with a base CPU cost charged on the
+machine evaluating the call; perturbations target the operation's work
+label, reproducing the paper's "10 times costlier" WS experiments.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import typing
+
+from repro.grid.registry import OperationMetadata, ResourceRegistry
+
+
+class WebServiceOperation:
+    """A named, costed, deterministic operation."""
+
+    def __init__(self, name: str,
+                 function: typing.Callable[[typing.Any], typing.Any],
+                 base_work_ms: float) -> None:
+        self.name = name
+        self.function = function
+        self.base_work_ms = base_work_ms
+
+    @property
+    def work_label(self) -> str:
+        """The perturbation-target label for this operation's work."""
+        return f"ws:{self.name}"
+
+    def invoke(self, value: typing.Any) -> typing.Any:
+        """Compute the operation's actual result."""
+        return self.function(value)
+
+    def register(self, registry: ResourceRegistry,
+                 machine_names: typing.Sequence[str]) -> None:
+        """Advertise this operation in the resource registry."""
+        registry.add_operation(OperationMetadata(
+            operation_name=self.name,
+            machine_names=list(machine_names),
+            base_work_ms=self.base_work_ms,
+        ))
+
+
+def shannon_entropy(sequence: str) -> float:
+    """Shannon entropy (bits/symbol) of a sequence.
+
+    The real computation behind the paper's ``EntropyAnalyser``
+    bioinformatics service.
+    """
+    if not sequence:
+        return 0.0
+    counts = collections.Counter(sequence)
+    total = len(sequence)
+    return -sum((count / total) * math.log2(count / total)
+                for count in counts.values())
+
+
+def make_entropy_analyser(base_work_ms: float = 5.0) -> WebServiceOperation:
+    """The demo ``EntropyAnalyser`` operation used by Q1."""
+    return WebServiceOperation("EntropyAnalyser", shannon_entropy,
+                               base_work_ms)

@@ -1,0 +1,209 @@
+"""The discrete-event simulation environment and process model.
+
+:class:`Environment` owns the simulation clock and the pending-event
+queue.  :class:`Process` drives a Python generator: each ``yield``
+hands back an :class:`~repro.sim.events.Event` to wait on, and the
+generator resumes with the event's value once it fires.  A generator's
+``return`` value becomes the process's own event value, so processes
+compose (``result = yield env.process(sub())``).
+
+The simulation is fully deterministic: ties in time are broken by
+scheduling priority, then by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    PRIORITY_NORMAL,
+    Timeout,
+)
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class Process(Event):
+    """An event that completes when its generator returns.
+
+    The generator is started on the next kernel step (at the current
+    simulation time), not synchronously, so a process may wait on
+    events created after it was spawned within the same timestamp.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str | None = None) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value of the fired event."""
+        self._target = None
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event")
+        if target.env is not self.env:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another "
+                "environment")
+        self._target = target
+        if target.processed:
+            # The event already fired; resume on the next kernel step so
+            # the process never outruns the event queue.
+            resume = Event(self.env)
+            resume.callbacks.append(self._resume)
+            if target.ok:
+                resume.succeed(target.value)
+            else:
+                resume.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Queue a triggered event to be processed ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- event factories ----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Spawn a process driving ``generator``; returns its event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """An event succeeding when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """An event succeeding when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- execution -----------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            # A failed event nobody waits on would silently swallow the
+            # error; surface it instead.
+            raise event.value
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a time
+        (run up to and including that instant), or an event (run until
+        it has been processed; returns its value).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)")
+                self.step()
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"cannot run until {horizon} < now {self._now}")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None

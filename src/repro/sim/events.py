@@ -1,0 +1,183 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic event-scheduling design used by SimPy:
+an :class:`Event` is a one-shot occurrence that processes can wait on;
+an :class:`~repro.sim.environment.Environment` owns a time-ordered queue
+of triggered events and fires their callbacks in order.
+
+Only the features needed by the query-processing simulation are
+implemented: plain events, timeouts, and the ``AllOf``/``AnyOf``
+combinators.  Events are deliberately single-shot; re-triggering one is
+a :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+#: Sentinel for "the event has not produced a value yet".
+_UNSET = object()
+
+#: Scheduling priority for control-ish events (fires before NORMAL at
+#: the same timestamp).
+PRIORITY_URGENT = 0
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` triggers it, which schedules it with the environment;
+    when the environment processes it, all registered callbacks run and
+    the event becomes *processed*.
+
+    Processes wait on events by ``yield``-ing them; see
+    :class:`repro.sim.environment.Process`.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[typing.Callable[["Event"], None]] = []
+        self._value: typing.Any = _UNSET
+        self._ok: bool | None = None
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has fired this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value inspected before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> typing.Any:
+        """The event's payload (or exception, if it failed)."""
+        if self._value is _UNSET:
+            raise SimulationError("event value inspected before trigger")
+        return self._value
+
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A process waiting on the event sees the exception re-raised at
+        its ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of simulated time from now."""
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: typing.Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded.
+
+    The value is the list of child values in construction order.  If any
+    child fails, this event fails with that child's exception (first
+    failure wins).
+    """
+
+    def __init__(self, env: "Environment",
+                 events: typing.Sequence[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            _observe(child, self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds as soon as any child event triggers.
+
+    The value is a ``(event, value)`` pair identifying the winner.  A
+    failing child fails this event.
+    """
+
+    def __init__(self, env: "Environment",
+                 events: typing.Sequence[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for child in self._children:
+            _observe(child, self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.ok:
+            self.succeed((child, child.value))
+        else:
+            self.fail(child.value)
+
+
+def _observe(event: Event, callback: typing.Callable[[Event], None]) -> None:
+    """Attach ``callback`` to ``event``, firing immediately if needed."""
+    if event.processed:
+        callback(event)
+    else:
+        event.callbacks.append(callback)

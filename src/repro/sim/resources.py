@@ -1,0 +1,106 @@
+"""CPU resource model.
+
+Each simulated machine owns one :class:`Cpu` per core (the evaluation
+machines in the paper are single-CPU Linux boxes, so the default is a
+single FIFO server).  Work is expressed in *work units*: milliseconds
+of CPU time on a machine of speed 1.0.  The actual service time of a
+task is ``work / speed``, with the speed sampled when the task starts
+service, so time-varying load profiles take effect as tasks begin.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+SpeedFunction = typing.Callable[[float], float]
+
+
+class CpuTask(Event):
+    """A queued unit of CPU work; fires when the work completes.
+
+    The value is the service time actually consumed (useful for
+    self-monitoring operators, which report measured costs).
+    """
+
+    def __init__(self, env: Environment, work: float, label: str) -> None:
+        super().__init__(env)
+        self.work = work
+        self.label = label
+        self.queued_at = env.now
+        self.started_at: float | None = None
+
+
+class Cpu:
+    """A FIFO single-server CPU.
+
+    ``speed`` may be a constant or a function of simulation time; a
+    speed of 2.0 halves service times.  Utilisation statistics are kept
+    so experiments can report busy/idle breakdowns.
+    """
+
+    def __init__(self, env: Environment,
+                 speed: float | SpeedFunction = 1.0) -> None:
+        self.env = env
+        if callable(speed):
+            self._speed_fn: SpeedFunction = speed
+        else:
+            if speed <= 0:
+                raise SimulationError(f"cpu speed must be positive: {speed}")
+            constant = float(speed)
+            self._speed_fn = lambda _t: constant
+        self._pending: collections.deque[CpuTask] = collections.deque()
+        self._serving = False
+        self.busy_time = 0.0
+        self.tasks_completed = 0
+
+    def speed_at(self, time: float) -> float:
+        """Effective speed factor at ``time``."""
+        value = self._speed_fn(time)
+        if value <= 0:
+            raise SimulationError(f"cpu speed function returned {value}")
+        return value
+
+    @property
+    def queue_length(self) -> int:
+        """Number of tasks waiting or in service."""
+        return len(self._pending) + (1 if self._serving else 0)
+
+    def execute(self, work: float, label: str = "work") -> CpuTask:
+        """Submit ``work`` units; the returned event fires on completion."""
+        if work < 0:
+            raise SimulationError(f"negative cpu work: {work}")
+        task = CpuTask(self.env, work, label)
+        self._pending.append(task)
+        if not self._serving:
+            # Claim the server slot synchronously: the process itself only
+            # starts on the next kernel step, and a second execute() call in
+            # the meantime must not spawn a competing server.
+            self._serving = True
+            self.env.process(self._serve(), name="cpu-server")
+        return task
+
+    def _serve(self) -> typing.Generator[Event, typing.Any, None]:
+        try:
+            while self._pending:
+                task = self._pending.popleft()
+                task.started_at = self.env.now
+                duration = task.work / self.speed_at(self.env.now)
+                if duration > 0:
+                    yield self.env.timeout(duration)
+                self.busy_time += duration
+                self.tasks_completed += 1
+                task.succeed(duration)
+        finally:
+            self._serving = False
+
+    def utilisation(self, horizon: float | None = None) -> float:
+        """Fraction of time busy over ``[0, horizon]`` (default: now)."""
+        horizon = self.env.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

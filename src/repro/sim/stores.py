@@ -1,0 +1,120 @@
+"""Queues for inter-process communication in the simulation.
+
+:class:`Store` is a FIFO buffer of arbitrary items with optional
+capacity.  Producers ``yield store.put(item)``; consumers
+``yield store.get()``.  Both sides block (in simulated time) when the
+store is full/empty.  The paper's exchange operators use unbounded
+stores ("the incoming queues within exchanges can fit the complete
+dataset", §3.2) but bounded stores are supported for back-pressure
+experiments.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+
+class StorePut(Event):
+    """Pending put request; succeeds once the item is buffered."""
+
+    def __init__(self, store: "Store", item: typing.Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending get request; succeeds with the dequeued item."""
+
+
+class Store:
+    """A FIFO item buffer with optional capacity.
+
+    Items are handed to getters strictly in arrival order, and blocked
+    putters are admitted in request order, so the store is fair and the
+    simulation stays deterministic.
+    """
+
+    def __init__(self, env: Environment,
+                 capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: collections.deque[typing.Any] = collections.deque()
+        self._putters: collections.deque[StorePut] = collections.deque()
+        self._getters: collections.deque[StoreGet] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() requests currently blocked."""
+        return len(self._getters)
+
+    def put(self, item: typing.Any) -> StorePut:
+        """Queue ``item``; the returned event fires once it is stored."""
+        request = StorePut(self, item)
+        self._putters.append(request)
+        self._settle()
+        return request
+
+    def get(self) -> StoreGet:
+        """Request the next item; the event's value is the item."""
+        request = StoreGet(self.env)
+        self._getters.append(request)
+        self._settle()
+        return request
+
+    def peek_all(self) -> list[typing.Any]:
+        """Snapshot of buffered items (used by recovery/introspection)."""
+        return list(self.items)
+
+    def drain(self) -> list[typing.Any]:
+        """Remove and return all buffered items without waking getters.
+
+        Used by retrospective repartitioning to pull back tuples that
+        were queued but not yet consumed.
+        """
+        drained = list(self.items)
+        self.items.clear()
+        self._settle()
+        return drained
+
+    def remove_if(self, predicate: typing.Callable[[typing.Any], bool]
+                  ) -> list[typing.Any]:
+        """Remove and return buffered items matching ``predicate``."""
+        kept: collections.deque[typing.Any] = collections.deque()
+        removed: list[typing.Any] = []
+        for item in self.items:
+            if predicate(item):
+                removed.append(item)
+            else:
+                kept.append(item)
+        self.items = kept
+        self._settle()
+        return removed
+
+    def _settle(self) -> None:
+        """Match buffered items with getters and admit blocked putters."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed(None)
+                progressed = True
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,23 @@
+"""Observability: event tracing of the adaptivity pipeline."""
+
+from repro.telemetry.trace import (
+    CATEGORY_ASSESSMENT,
+    CATEGORY_FAILURE,
+    CATEGORY_MONITORING,
+    CATEGORY_QUERY,
+    CATEGORY_RESPONSE,
+    TraceEvent,
+    Tracer,
+    format_timeline,
+)
+
+__all__ = [
+    "CATEGORY_ASSESSMENT",
+    "CATEGORY_FAILURE",
+    "CATEGORY_MONITORING",
+    "CATEGORY_QUERY",
+    "CATEGORY_RESPONSE",
+    "TraceEvent",
+    "Tracer",
+    "format_timeline",
+]

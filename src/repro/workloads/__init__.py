@@ -1,0 +1,36 @@
+"""Workloads: the protein demo database, Q1/Q2, and perturbations."""
+
+from repro.workloads.proteins import (
+    COORDINATOR,
+    DATA_HOST,
+    DemoGrid,
+    DemoGridSpec,
+    compute_machine_name,
+)
+from repro.workloads.queries import Q1, Q2
+from repro.workloads.scenarios import (
+    JOIN_LABEL,
+    WS_LABEL,
+    perturb_join_sleep,
+    perturb_machine_load,
+    perturb_transient_load,
+    perturb_ws_cost,
+    perturb_ws_cost_varying,
+)
+
+__all__ = [
+    "COORDINATOR",
+    "DATA_HOST",
+    "DemoGrid",
+    "DemoGridSpec",
+    "JOIN_LABEL",
+    "Q1",
+    "Q2",
+    "WS_LABEL",
+    "compute_machine_name",
+    "perturb_join_sleep",
+    "perturb_machine_load",
+    "perturb_transient_load",
+    "perturb_ws_cost",
+    "perturb_ws_cost_varying",
+]

@@ -1,0 +1,134 @@
+"""The demo deployment: the paper's three-machine testbed in simulation.
+
+"Two machines are used for the evaluation of EntropyAnalyser in Q1,
+and the join in Q2 ... The data are retrieved from a third machine.
+All machines run RedHat Linux 9, are connected by a 100Mbps network,
+and are autonomously exposed as Grid resources" (§3.2).
+
+:class:`DemoGrid` builds that world: a data host exposing the two
+protein tables as Grid Data Services, N homogeneous compute machines
+offering the EntropyAnalyser operation, and a coordinator running the
+GDQS.  Cost constants live in :mod:`repro.workloads.scenarios`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import CostModel, EngineConfig, FaultToleranceConfig
+from repro.data.generator import (
+    INTERACTIONS_CARDINALITY,
+    SEQUENCES_CARDINALITY,
+    SEQUENCE_LENGTH,
+    generate_protein_interactions,
+    generate_protein_sequences,
+)
+from repro.dqp.client import QueryProcessor
+from repro.grid.container import GridContext
+from repro.grid.perturbation import Perturbation
+from repro.net.network import NetworkConfig
+from repro.net.serialization import SerializationModel
+from repro.services.gds import GridDataService
+from repro.services.ws import make_entropy_analyser
+
+#: Machine names of the demo deployment.
+COORDINATOR = "coordinator"
+DATA_HOST = "data-host"
+
+
+def compute_machine_name(index: int) -> str:
+    return f"compute-{index + 1}"
+
+
+@dataclasses.dataclass(frozen=True)
+class DemoGridSpec:
+    """Shape of the demo deployment."""
+
+    compute_machines: int = 2
+    sequences_cardinality: int = SEQUENCES_CARDINALITY
+    interactions_cardinality: int = INTERACTIONS_CARDINALITY
+    sequence_length: int = SEQUENCE_LENGTH
+    seed: int = 0
+    #: Per-tuple GDS wrapper costs (OGSA-DAI access path).
+    sequences_access_work: float = 6.1
+    interactions_access_work: float = 0.8
+    ws_base_work_ms: float = 4.6
+    #: Standby machines available to failure recovery.
+    spare_machines: int = 0
+
+
+class DemoGrid:
+    """A fully wired simulated Grid hosting the protein demo database."""
+
+    def __init__(self, spec: DemoGridSpec | None = None,
+                 engine_config: EngineConfig | None = None,
+                 cost: CostModel | None = None,
+                 network_config: NetworkConfig | None = None,
+                 serialization: SerializationModel | None = None,
+                 fault_tolerance: FaultToleranceConfig | None = None
+                 ) -> None:
+        self.spec = spec or DemoGridSpec()
+        self.engine_config = engine_config or EngineConfig()
+        self.cost = cost or CostModel()
+        self.context = GridContext(
+            seed=self.spec.seed,
+            network_config=network_config,
+            serialization=serialization or SerializationModel())
+        self.context.add_machine(COORDINATOR, compute=False)
+        self.context.add_machine(DATA_HOST, compute=False)
+        self.compute_machines = [
+            compute_machine_name(i)
+            for i in range(self.spec.compute_machines)]
+        for name in self.compute_machines:
+            self.context.add_machine(name)
+        self.spare_machines = [f"spare-{i + 1}"
+                               for i in range(self.spec.spare_machines)]
+        for name in self.spare_machines:
+            self.context.add_machine(name, compute=False, spare=True)
+
+        rng = self.context.random.stream("protein-data")
+        sequences = generate_protein_sequences(
+            rng, self.spec.sequences_cardinality, self.spec.sequence_length)
+        interactions = generate_protein_interactions(
+            rng, sequences, self.spec.interactions_cardinality)
+        self.gds_map = {
+            "protein_sequences": GridDataService(
+                self.context, DATA_HOST, sequences,
+                access_work_per_tuple=self.spec.sequences_access_work),
+            "protein_interactions": GridDataService(
+                self.context, DATA_HOST, interactions,
+                access_work_per_tuple=self.spec.interactions_access_work),
+        }
+        entropy = make_entropy_analyser(self.spec.ws_base_work_ms)
+        entropy.register(self.context.registry, self.compute_machines)
+        self.operations = {entropy.name: entropy}
+
+        self.processor = QueryProcessor(
+            self.context, self.gds_map, self.operations, COORDINATOR,
+            engine_config=self.engine_config, cost=self.cost,
+            fault_tolerance=fault_tolerance)
+
+    def perturb(self, machine_name: str,
+                perturbation: Perturbation) -> None:
+        """Attach a perturbation to one machine."""
+        self.context.machine(machine_name).add_perturbation(perturbation)
+
+    def fail_machine_at(self, machine_name: str, at_ms: float) -> None:
+        """Schedule a crash of every service on ``machine_name``.
+
+        The failure takes effect ``at_ms`` into the simulation: all
+        services hosted there (evaluators, detectors) go down and
+        their state is lost, exercising the fault-tolerance path.
+        """
+        def injector(env):
+            if at_ms > env.now:
+                yield env.timeout(at_ms - env.now)
+            self.context.fail_machine(machine_name)
+
+        self.context.env.process(injector(self.context.env),
+                                 name=f"failure:{machine_name}")
+
+    def run(self, query_text: str, adaptivity=None, degree=None):
+        """Run a query to completion on this grid."""
+        return self.processor.run(query_text, adaptivity=adaptivity,
+                                  degree=degree)

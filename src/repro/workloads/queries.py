@@ -1,0 +1,13 @@
+"""The paper's two evaluation queries (§3.2).
+
+Q1 is computation-intensive (a WS call per tuple) with significant
+I/O and communication contribution; Q2 is dominated by a traditional
+operator, the partitioned hash join.
+"""
+
+#: Q1: entropy analysis of every protein sequence (3000 tuples).
+Q1 = "select EntropyAnalyser(p.sequence) from protein_sequences p"
+
+#: Q2: join interactions (4700 tuples) with sequences on ORF.
+Q2 = ("select i.ORF2 from protein_sequences p, protein_interactions i "
+      "where i.ORF1 = p.ORF")

@@ -1,0 +1,83 @@
+"""Perturbation scenarios from the paper's evaluation (§3.2).
+
+The paper creates artificial load in two ways: making one machine's WS
+call k times costlier (Q1 experiments) and inserting a sleep() before
+each tuple processed by the join (Q2 experiments).  The rapid-change
+experiments draw the WS cost factor per tuple from a normal
+distribution.  This module builds those perturbations against the demo
+grid's machine and operator labels.
+"""
+
+from __future__ import annotations
+
+from repro.grid.perturbation import (
+    CostFactor,
+    SleepInjection,
+    StochasticCostFactor,
+)
+from repro.workloads.proteins import DemoGrid, compute_machine_name
+
+#: Work label of the EntropyAnalyser call (Q1 perturbation target).
+WS_LABEL = "ws:EntropyAnalyser"
+#: Work label of the join probe step (Q2 perturbation target).
+JOIN_LABEL = "join-probe"
+
+
+def perturb_ws_cost(grid: DemoGrid, factor: float,
+                    machines: int = 1) -> None:
+    """Make the WS call ``factor`` times costlier on ``machines``
+    of the compute pool (the paper's Q1 perturbation)."""
+    for index in range(machines):
+        grid.perturb(compute_machine_name(index),
+                     CostFactor(factor, target=WS_LABEL))
+
+
+def perturb_join_sleep(grid: DemoGrid, sleep_ms: float,
+                       machines: int = 1) -> None:
+    """Insert ``sleep(sleep_ms)`` before each join tuple on
+    ``machines`` of the compute pool (the paper's Q2 perturbation)."""
+    for index in range(machines):
+        grid.perturb(compute_machine_name(index),
+                     SleepInjection(sleep_ms, target=JOIN_LABEL))
+
+
+def perturb_ws_cost_varying(grid: DemoGrid, low: float, high: float,
+                            machines: int = 1) -> None:
+    """Per-tuple normally distributed WS cost factor in ``[low, high]``
+    (the paper's rapid-change experiments, Fig. 5)."""
+    for index in range(machines):
+        grid.perturb(compute_machine_name(index),
+                     StochasticCostFactor(low, high, target=WS_LABEL))
+
+
+def perturb_machine_load(grid: DemoGrid, factor: float,
+                         machines: int = 1, start_ms: float = 0.0,
+                         end_ms: float = float("inf")) -> None:
+    """Machine-wide background load: *all* work on the machine costs
+    ``factor`` times more, not just one operator.
+
+    Models a competing Grid job on an autonomous node rather than the
+    paper's operator-targeted perturbations.
+    """
+    for index in range(machines):
+        grid.perturb(compute_machine_name(index),
+                     CostFactor(factor, target="*", start=start_ms,
+                                end=end_ms))
+
+
+def perturb_transient_load(grid: DemoGrid, factor: float = 2.4,
+                           start_ms: float = 6000.0,
+                           duration_ms: float = 5000.0,
+                           machines: int = 1) -> None:
+    """A temporary load spike on otherwise equal machines.
+
+    Models the "slight fluctuations in performance that are inevitable
+    in a real wide-area environment" (§3.2): the spike is strong enough
+    to trip the 20% thresholds, so the system adapts even though the
+    services are nominally identical — the paper's "unnecessary
+    adaptivity" scenario.
+    """
+    for index in range(machines):
+        grid.perturb(compute_machine_name(index),
+                     CostFactor(factor, target=WS_LABEL, start=start_ms,
+                                end=start_ms + duration_ms))

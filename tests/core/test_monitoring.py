@@ -1,0 +1,156 @@
+"""Unit tests for the MonitoringEventDetector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import AdaptivityConfig, CostModel
+from repro.core import (
+    M1Event,
+    MonitoringEventDetector,
+    TOPIC_COST,
+    trimmed_average,
+)
+from repro.grid import GridContext
+from repro.services import GridService
+
+
+class RecordingService(GridService):
+    def __init__(self, context, name, machine_name):
+        super().__init__(context, name, machine_name)
+        self.received = []
+
+    def on_notification(self, topic, payload, sender):
+        self.received.append((topic, payload))
+
+
+def make_detector(config=None, with_subscriber=True):
+    context = GridContext(seed=0)
+    context.add_machine("m1")
+    context.add_machine("m2")
+    detector = MonitoringEventDetector(
+        context, "m1", config or AdaptivityConfig(), CostModel())
+    subscriber = None
+    if with_subscriber:
+        subscriber = RecordingService(context, "diag", "m2")
+        detector.subscribe(TOPIC_COST, "diag")
+    return context, detector, subscriber
+
+
+def m1(cost, instance="compute:0", produced=10):
+    return M1Event(instance_id=instance, subplan_id="compute",
+                   machine_name="m1", cost_per_tuple_ms=cost,
+                   avg_wait_ms=0.0, selectivity=1.0,
+                   produced_total=produced, timestamp=0.0)
+
+
+class TestTrimmedAverage:
+    def test_drops_min_and_max(self):
+        assert trimmed_average([1.0, 10.0, 100.0]) == 10.0
+        assert trimmed_average([5.0, 1.0, 9.0, 5.0]) == 5.0
+
+    def test_short_windows_use_plain_mean(self):
+        assert trimmed_average([4.0]) == 4.0
+        assert trimmed_average([2.0, 4.0]) == 3.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_average([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6),
+                    min_size=3, max_size=50))
+    def test_result_bounded_by_remaining_values(self, values):
+        average = trimmed_average(values)
+        ordered = sorted(values)
+        assert ordered[1] - 1e-9 <= average <= ordered[-2] + 1e-9
+
+
+class TestDetectorThresholds:
+    def test_first_window_emits_once_min_events_reached(self):
+        config = AdaptivityConfig(min_window_events=3)
+        context, detector, subscriber = make_detector(config)
+        detector.submit_m1(m1(5.0))
+        detector.submit_m1(m1(5.0))
+        context.env.run()
+        assert subscriber.received == []
+        detector.submit_m1(m1(5.0))
+        context.env.run()
+        assert len(subscriber.received) == 1
+        topic, payload = subscriber.received[0]
+        assert topic == TOPIC_COST
+        assert payload.kind == "m1"
+        assert payload.average_value == pytest.approx(5.0)
+
+    def test_stable_average_stays_silent(self):
+        context, detector, subscriber = make_detector()
+        for _ in range(20):
+            detector.submit_m1(m1(5.0))
+        context.env.run()
+        assert len(subscriber.received) == 1  # only the initial one
+
+    def test_change_beyond_thres_m_notifies(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m1(m1(5.0))
+        # Push the trimmed window mean >20% above the notified value.
+        for _ in range(10):
+            detector.submit_m1(m1(10.0))
+        context.env.run()
+        assert len(subscriber.received) >= 2
+        assert subscriber.received[-1][1].average_value > 5.0 * 1.2
+
+    def test_change_below_thres_m_is_filtered(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m1(m1(5.0))
+        for _ in range(10):
+            detector.submit_m1(m1(5.4))  # 8% drift, below 20%
+        context.env.run()
+        assert len(subscriber.received) == 1
+
+    def test_windows_grouped_by_instance(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m1(m1(5.0, instance="compute:0"))
+        detector.submit_m1(m1(50.0, instance="compute:1"))
+        context.env.run()
+        keys = {payload.key for _t, payload in subscriber.received}
+        assert keys == {"m1|compute:0", "m1|compute:1"}
+
+    def test_m2_groups_by_producer_and_recipient(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m2("xp:feed0:0", "compute:0:0", 25.0, 50)
+        detector.submit_m2("xp:feed0:0", "compute:1:0", 30.0, 50)
+        context.env.run()
+        payloads = [payload for _t, payload in subscriber.received]
+        assert {p.key for p in payloads} == {
+            "m2|xp:feed0:0->compute:0:0", "m2|xp:feed0:0->compute:1:0"}
+        # M2 value is cost per tuple.
+        assert payloads[0].average_value == pytest.approx(0.5)
+
+    def test_m2_with_zero_tuples_ignored(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m2("p", "c", 10.0, 0)
+        context.env.run()
+        assert subscriber.received == []
+
+    def test_window_is_sliding_with_max_length(self):
+        config = AdaptivityConfig(window_size=4, min_window_events=1)
+        context, detector, subscriber = make_detector(config)
+        for cost in (100.0, 100.0, 100.0, 100.0, 1.0, 1.0, 1.0, 1.0):
+            detector.submit_m1(m1(cost))
+        context.env.run()
+        # The last notification reflects only recent values.
+        assert subscriber.received[-1][1].average_value == pytest.approx(1.0)
+
+    def test_detector_charges_local_cpu(self):
+        context, detector, _subscriber = make_detector()
+        for _ in range(10):
+            detector.submit_m1(m1(5.0))
+        context.env.run()
+        assert context.machine("m1").cpu.busy_time > 0
+
+    def test_counters(self):
+        context, detector, _subscriber = make_detector()
+        for _ in range(5):
+            detector.submit_m1(m1(5.0))
+        context.env.run()
+        assert detector.raw_events_received == 5
+        assert detector.cost_notifications_sent == 1

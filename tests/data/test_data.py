@@ -1,0 +1,106 @@
+"""Unit tests for schemas, rows, relations and the protein generator."""
+
+import random
+
+import pytest
+
+from repro.data import (
+    Column,
+    Relation,
+    Row,
+    Schema,
+    generate_protein_interactions,
+    generate_protein_sequences,
+    make_base_tid,
+)
+from repro.errors import SchemaError
+
+
+def test_schema_resolves_qualified_and_bare_names():
+    schema = Schema([Column("ORF", "str"), Column("sequence", "str")],
+                    alias="p")
+    assert schema.position_of("ORF") == 0
+    assert schema.position_of("p.sequence") == 1
+    with pytest.raises(SchemaError):
+        schema.position_of("q.sequence")
+    with pytest.raises(SchemaError):
+        schema.position_of("missing")
+
+
+def test_schema_rejects_duplicates_and_bad_types():
+    with pytest.raises(SchemaError):
+        Schema([Column("a"), Column("a")])
+    with pytest.raises(SchemaError):
+        Column("a", "blob")
+    with pytest.raises(SchemaError):
+        Schema([])
+
+
+def test_schema_projection_and_concat():
+    left = Schema([Column("a", "int"), Column("b", "str", 10)])
+    right = Schema([Column("b", "str", 10), Column("c", "int")])
+    projected = left.project(["b"])
+    assert projected.names() == ["b"]
+    joined = left.concat(right)
+    assert joined.names() == ["a", "b", "b_r", "c"]
+    assert joined.width_bytes == left.width_bytes + right.width_bytes
+
+
+def test_row_projection_keeps_provenance():
+    row = Row(("x", "y", "z"), make_base_tid("t", 3))
+    projected = row.project([2, 0])
+    assert projected.values == ("z", "x")
+    assert projected.tid == "t#3"
+
+
+def test_row_extend_composes_tids():
+    left = Row(("a",), "l#1")
+    right = Row(("b",), "r#2")
+    joined = left.extend(right.values, right.tid)
+    assert joined.values == ("a", "b")
+    assert joined.tid == ("l#1", "r#2")
+
+
+def test_relation_from_values_assigns_unique_tids():
+    schema = Schema([Column("k", "int")])
+    relation = Relation.from_values("t", schema, [(i,) for i in range(5)])
+    tids = [row.tid for row in relation]
+    assert len(set(tids)) == 5
+    assert relation.cardinality == 5
+
+
+def test_relation_rejects_arity_mismatch():
+    schema = Schema([Column("k", "int")])
+    relation = Relation("t", schema)
+    with pytest.raises(SchemaError):
+        relation.append(Row((1, 2), "t#0"))
+
+
+def test_protein_sequences_have_fixed_length_and_unique_orfs():
+    rng = random.Random(0)
+    sequences = generate_protein_sequences(rng, cardinality=100,
+                                           sequence_length=64)
+    assert sequences.cardinality == 100
+    lengths = {len(seq) for seq in sequences.column_values("sequence")}
+    assert lengths == {64}
+    orfs = sequences.column_values("ORF")
+    assert len(set(orfs)) == 100
+
+
+def test_interactions_reference_existing_orfs():
+    rng = random.Random(0)
+    sequences = generate_protein_sequences(rng, cardinality=50,
+                                           sequence_length=16)
+    interactions = generate_protein_interactions(rng, sequences,
+                                                 cardinality=200)
+    orfs = set(sequences.column_values("ORF"))
+    assert interactions.cardinality == 200
+    assert set(interactions.column_values("ORF1")) <= orfs
+
+
+def test_generation_is_deterministic_per_seed():
+    first = generate_protein_sequences(random.Random(7), cardinality=10,
+                                       sequence_length=8)
+    second = generate_protein_sequences(random.Random(7), cardinality=10,
+                                        sequence_length=8)
+    assert [r.values for r in first] == [r.values for r in second]

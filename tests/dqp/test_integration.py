@@ -1,0 +1,221 @@
+"""Integration tests: full distributed query runs on the demo grid.
+
+These exercise the whole stack — parser, optimizer, deployment, the
+exchange protocol with checkpointing and announcements, the adaptivity
+loop and teardown — at reduced data sizes for speed.
+"""
+
+import collections
+
+import pytest
+
+from repro.config import AdaptivityConfig, RESPONSE_R1, RESPONSE_R2
+from repro.services.ws import shannon_entropy
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+    perturb_ws_cost_varying,
+)
+
+SMALL = DemoGridSpec(sequences_cardinality=150,
+                     interactions_cardinality=220,
+                     sequence_length=24)
+
+
+def run(query, adaptivity=None, perturb=None, spec=SMALL, degree=None):
+    grid = DemoGrid(spec)
+    if perturb:
+        perturb(grid)
+    return grid, grid.run(query, adaptivity or AdaptivityConfig.disabled(),
+                          degree=degree)
+
+
+def reference_q1(grid):
+    """Expected Q1 result computed directly from the generated data."""
+    relation = grid.gds_map["protein_sequences"].relation
+    return sorted(shannon_entropy(seq)
+                  for seq in relation.column_values("sequence"))
+
+
+def reference_q2(grid):
+    """Expected Q2 result computed directly from the generated data."""
+    sequences = grid.gds_map["protein_sequences"].relation
+    interactions = grid.gds_map["protein_interactions"].relation
+    orfs = set(sequences.column_values("ORF"))
+    return sorted(orf2 for orf1, orf2
+                  in (row.values for row in interactions)
+                  if orf1 in orfs)
+
+
+class TestStaticExecution:
+    def test_q1_produces_correct_entropies(self):
+        grid, result = run(Q1)
+        assert sorted(v[0] for v in result.values()) == pytest.approx(
+            reference_q1(grid))
+
+    def test_q2_produces_correct_join(self):
+        grid, result = run(Q2)
+        assert sorted(v[0] for v in result.values()) == reference_q2(grid)
+
+    def test_static_run_reports_no_adaptivity_activity(self):
+        _grid, result = run(Q1)
+        stats = result.stats
+        assert stats.raw_monitoring_events == 0
+        assert stats.adaptations_accepted == 0
+        assert stats.duplicates_dropped == 0
+
+    def test_uniform_static_distribution(self):
+        _grid, result = run(Q1)
+        counts = result.stats.tuples_per_consumer
+        assert counts == [75, 75]
+
+    def test_response_time_positive_and_deterministic(self):
+        _grid, first = run(Q1)
+        _grid, second = run(Q1)
+        assert first.response_time_ms > 0
+        assert first.response_time_ms == second.response_time_ms
+
+    def test_filter_query_end_to_end(self):
+        grid = DemoGrid(SMALL)
+        relation = grid.gds_map["protein_interactions"].relation
+        target = relation.rows[0].values[0]
+        expected = sorted(
+            v for o1, v in (r.values for r in relation) if o1 == target)
+        result = grid.run(
+            f"select i.ORF2 from protein_interactions i "
+            f"where i.ORF1 = '{target}'", AdaptivityConfig.disabled())
+        assert sorted(v[0] for v in result.values()) == expected
+
+    def test_degree_one_runs_on_single_machine(self):
+        _grid, result = run(Q1, degree=1)
+        assert result.stats.tuples_per_consumer == [150]
+
+    def test_three_way_partitioning(self):
+        spec = DemoGridSpec(sequences_cardinality=150,
+                            interactions_cardinality=220,
+                            sequence_length=24, compute_machines=3)
+        _grid, result = run(Q1, spec=spec)
+        assert result.stats.tuples_per_consumer == [50, 50, 50]
+
+    def test_output_schema_names(self):
+        _grid, result = run(Q1)
+        assert result.schema.names() == ["entropyanalyser"]
+
+
+class TestAdaptiveExecution:
+    def test_q1_adaptive_results_equal_static(self):
+        for response in (RESPONSE_R2, RESPONSE_R1):
+            grid, result = run(
+                Q1, AdaptivityConfig(response=response,
+                                     decision_latency_ms=100.0),
+                perturb=lambda g: perturb_ws_cost(g, 10.0))
+            assert sorted(v[0] for v in result.values()) == pytest.approx(
+                reference_q1(grid)), response
+
+    def test_q2_adaptive_r1_results_equal_static(self):
+        grid, result = run(
+            Q2, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0),
+            perturb=lambda g: perturb_join_sleep(g, 10.0))
+        assert sorted(v[0] for v in result.values()) == reference_q2(grid)
+
+    def test_adaptation_shifts_load_away_from_perturbed_machine(self):
+        # Retrospective response so the shift is visible in the final
+        # attribution even at this small data size.
+        _grid, result = run(
+            Q1, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0),
+            perturb=lambda g: perturb_ws_cost(g, 10.0))
+        counts = result.stats.tuples_per_consumer
+        assert result.stats.adaptations_accepted >= 1
+        assert counts[0] < counts[1]  # compute-1 is the perturbed one
+
+    def test_adaptivity_reduces_response_time_under_imbalance(self):
+        perturb = lambda g: perturb_ws_cost(g, 10.0)  # noqa: E731
+        _grid, static = run(Q1, perturb=perturb)
+        _grid, adaptive = run(
+            Q1, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0),
+            perturb=perturb)
+        assert adaptive.response_time_ms < static.response_time_ms
+
+    def test_retrospective_moves_are_recorded(self):
+        _grid, result = run(
+            Q1, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0),
+            perturb=lambda g: perturb_ws_cost(g, 10.0))
+        assert result.stats.retrospective_moves >= 1
+        assert result.stats.tuples_moved > 0
+
+    def test_prospective_never_moves_tuples(self):
+        _grid, result = run(
+            Q1, AdaptivityConfig(response=RESPONSE_R2,
+                                 decision_latency_ms=100.0),
+            perturb=lambda g: perturb_ws_cost(g, 10.0))
+        assert result.stats.tuples_moved == 0
+
+    def test_no_adaptation_without_imbalance(self):
+        _grid, result = run(Q1, AdaptivityConfig(decision_latency_ms=100.0))
+        assert result.stats.adaptations_accepted == 0
+
+    def test_varying_perturbation_still_correct(self):
+        grid, result = run(
+            Q1, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0),
+            perturb=lambda g: perturb_ws_cost_varying(g, 5.0, 25.0))
+        assert sorted(v[0] for v in result.values()) == pytest.approx(
+            reference_q1(grid))
+
+    def test_monitoring_funnel_filters_notifications(self):
+        _grid, result = run(
+            Q1, AdaptivityConfig(decision_latency_ms=100.0),
+            perturb=lambda g: perturb_ws_cost(g, 10.0))
+        stats = result.stats
+        assert stats.raw_monitoring_events > stats.cost_notifications
+        assert stats.cost_notifications >= stats.proposals_sent
+        assert stats.proposals_sent >= stats.adaptations_accepted
+
+    def test_q2_join_state_repartitioning_exactly_once(self):
+        grid, result = run(
+            Q2, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0,
+                                 cooldown_ms=100.0),
+            perturb=lambda g: perturb_join_sleep(g, 15.0))
+        values = sorted(v[0] for v in result.values())
+        assert values == reference_q2(grid)
+        # Dedup may have dropped replay duplicates, never results.
+        assert result.stats.result_count == len(reference_q2(grid))
+
+    def test_three_machines_one_perturbed(self):
+        spec = DemoGridSpec(sequences_cardinality=150,
+                            interactions_cardinality=220,
+                            sequence_length=24, compute_machines=3)
+        grid, result = run(
+            Q1, AdaptivityConfig(response=RESPONSE_R1,
+                                 decision_latency_ms=100.0),
+            perturb=lambda g: perturb_ws_cost(g, 10.0), spec=spec)
+        assert sorted(v[0] for v in result.values()) == pytest.approx(
+            reference_q1(grid))
+        counts = result.stats.tuples_per_consumer
+        assert counts[0] == min(counts)
+
+
+class TestMultiQuerySessions:
+    def test_sequential_queries_on_one_grid(self):
+        grid = DemoGrid(SMALL)
+        first = grid.run(Q1, AdaptivityConfig.disabled())
+        second = grid.run(Q2, AdaptivityConfig.disabled())
+        assert first.query_id != second.query_id
+        assert len(first.rows) == 150
+        assert len(second.rows) == 220
+
+    def test_adaptive_then_static(self):
+        grid = DemoGrid(SMALL)
+        perturb_ws_cost(grid, 10.0)
+        adaptive = grid.run(Q1, AdaptivityConfig(decision_latency_ms=100.0))
+        static = grid.run(Q1, AdaptivityConfig.disabled())
+        assert len(adaptive.rows) == len(static.rows) == 150

@@ -1,0 +1,75 @@
+"""Unit tests for self-monitoring metrics."""
+
+import pytest
+
+from repro.engine.metrics import SubplanMetrics
+
+
+def test_initial_state():
+    metrics = SubplanMetrics("compute:0")
+    assert metrics.consumed == 0
+    assert metrics.produced == 0
+    assert metrics.selectivity == 1.0
+
+
+def test_selectivity_tracks_output_over_input():
+    metrics = SubplanMetrics("i")
+    metrics.record_consumed(10)
+    metrics.record_iteration(5.0, 4)
+    assert metrics.selectivity == pytest.approx(0.4)
+
+
+def test_drain_batch_separates_wait_from_processing():
+    metrics = SubplanMetrics("i")
+    metrics.record_wait(3.0)
+    metrics.record_consumed()
+    metrics.record_iteration(5.0, 1)   # 5 ms elapsed, 3 waiting
+    cost, wait, produced = metrics.drain_batch()
+    assert produced == 1
+    assert cost == pytest.approx(2.0)
+    assert wait == pytest.approx(3.0)
+
+
+def test_drain_batch_resets_accumulators_even_when_unproductive():
+    """A long unproductive phase (a join build) must not leak wait
+    time into the next batch — the bug behind a bad first assessment."""
+    metrics = SubplanMetrics("i")
+    metrics.record_wait(20_000.0)
+    metrics.record_iteration(20_000.0, 0)
+    assert metrics.drain_batch() == (0.0, 0.0, 0)
+    # Steady-state batch after the reset is clean.
+    metrics.record_iteration(10.0, 1)
+    cost, wait, produced = metrics.drain_batch()
+    assert cost == pytest.approx(10.0)
+    assert wait == 0.0
+    assert produced == 1
+
+
+def test_drain_batch_is_windowed_not_cumulative():
+    metrics = SubplanMetrics("i")
+    metrics.record_iteration(10.0, 1)
+    metrics.drain_batch()
+    metrics.record_iteration(30.0, 1)
+    cost, _wait, _produced = metrics.drain_batch()
+    assert cost == pytest.approx(30.0)
+
+
+def test_totals_survive_draining():
+    metrics = SubplanMetrics("i")
+    for _ in range(5):
+        metrics.record_consumed()
+        metrics.record_wait(1.0)
+        metrics.record_iteration(3.0, 1)
+        metrics.drain_batch()
+    assert metrics.consumed == 5
+    assert metrics.produced == 5
+    assert metrics.wait_ms_total == pytest.approx(5.0)
+    assert metrics.elapsed_ms_total == pytest.approx(15.0)
+
+
+def test_processing_cost_clamped_at_zero():
+    metrics = SubplanMetrics("i")
+    metrics.record_wait(10.0)
+    metrics.record_iteration(5.0, 1)  # wait exceeds elapsed (clock skew)
+    cost, _wait, _produced = metrics.drain_batch()
+    assert cost == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the experiment harness, registry and report rendering."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import AdaptivityConfig, RESPONSE_R1, RESPONSE_R2
+from repro.experiments import EXPERIMENTS, engine_config_for, execute, render
+from repro.experiments.harness import BaselineCache, ExperimentReport
+from repro.workloads import DemoGridSpec, perturb_ws_cost
+
+TINY = DemoGridSpec(sequences_cardinality=60, interactions_cardinality=80,
+                    sequence_length=16)
+
+
+class TestEngineConfigPolicy:
+    def test_static_runs_do_not_log(self):
+        assert not engine_config_for(None).logging_enabled
+        assert not engine_config_for(
+            AdaptivityConfig.disabled()).logging_enabled
+
+    def test_prospective_runs_do_not_log(self):
+        config = AdaptivityConfig(response=RESPONSE_R2)
+        assert not engine_config_for(config).logging_enabled
+
+    def test_retrospective_runs_log(self):
+        config = AdaptivityConfig(response=RESPONSE_R1)
+        assert engine_config_for(config).logging_enabled
+
+
+class TestExecute:
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ValueError):
+            execute("Q9")
+
+    def test_execute_runs_static_by_default(self):
+        result = execute("Q1", spec=TINY)
+        assert len(result.rows) == 60
+        assert result.stats.adaptations_accepted == 0
+
+    def test_execute_applies_perturbation(self):
+        import functools
+        baseline = execute("Q1", spec=TINY).response_time_ms
+        perturbed = execute(
+            "Q1", perturb=functools.partial(perturb_ws_cost, factor=10.0),
+            spec=TINY).response_time_ms
+        assert perturbed > baseline * 1.5
+
+
+class TestBaselineCache:
+    def test_baseline_cached_per_query_and_spec(self):
+        cache = BaselineCache()
+        first = cache.baseline_ms("Q1", TINY)
+        assert cache.baseline_ms("Q1", TINY) == first
+        other_spec = dataclasses.replace(TINY, sequences_cardinality=80)
+        assert cache.baseline_ms("Q1", other_spec) != first
+
+    def test_normalised_baseline_is_one(self):
+        cache = BaselineCache()
+        result = execute("Q1", spec=TINY)
+        assert cache.normalised(result, "Q1", TINY) == pytest.approx(1.0)
+
+
+class TestRegistryAndReport:
+    def test_all_paper_artefacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5",
+            "overheads", "monitoring", "recovery"}
+
+    def test_render_produces_aligned_table(self):
+        report = ExperimentReport(
+            experiment_id="x", title="A title",
+            columns=["name", "value"],
+            rows=[["long-name", 1.23456], ["b", 2]],
+            notes="some notes")
+        text = render(report)
+        lines = text.splitlines()
+        assert lines[0] == "== x: A title =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in text
+        assert text.endswith("some notes")
+
+    def test_row_dicts_round_trip(self):
+        report = ExperimentReport("x", "t", ["a", "b"], [[1, 2]])
+        assert report.row_dicts() == [{"a": 1, "b": 2}]

@@ -1,0 +1,122 @@
+"""Unit tests for the network fabric."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import KIND_DATA, Message, Network, NetworkConfig
+from repro.sim import Environment
+
+
+def make_network(env, latency=1.0, bandwidth=1000.0):
+    return Network(env, NetworkConfig(latency_ms=latency,
+                                      bandwidth_bytes_per_ms=bandwidth,
+                                      loopback_delay_ms=0.01))
+
+
+def test_remote_message_arrives_in_mailbox():
+    env = Environment()
+    net = make_network(env)
+    net.register("a", "m1")
+    mailbox_b = net.register("b", "m2")
+    received = []
+
+    def receiver(env):
+        message = yield mailbox_b.get()
+        received.append((env.now, message.payload))
+
+    env.process(receiver(env))
+    net.send(Message(sender="a", recipient="b", kind=KIND_DATA,
+                     payload="hello", size_bytes=500))
+    env.run()
+    # 500/1000 ms transmission + 1 ms latency.
+    assert received == [(pytest.approx(1.5), "hello")]
+
+
+def test_local_message_uses_loopback():
+    env = Environment()
+    net = make_network(env)
+    net.register("a", "m1")
+    mailbox_b = net.register("b", "m1")
+    received = []
+
+    def receiver(env):
+        message = yield mailbox_b.get()
+        received.append(env.now)
+
+    env.process(receiver(env))
+    net.send(Message(sender="a", recipient="b", kind=KIND_DATA,
+                     payload="x", size_bytes=10_000_000))
+    env.run()
+    assert received == [pytest.approx(0.01)]
+
+
+def test_send_event_fires_at_delivery():
+    env = Environment()
+    net = make_network(env)
+    net.register("a", "m1")
+    net.register("b", "m2")
+
+    def sender(env):
+        done = net.send(Message(sender="a", recipient="b", kind=KIND_DATA,
+                                payload=None, size_bytes=1000))
+        yield done
+        return env.now
+
+    proc = env.process(sender(env))
+    env.run(until=proc)
+    assert proc.value == pytest.approx(2.0)  # 1 ms transmit + 1 ms latency
+
+
+def test_unknown_endpoint_raises():
+    env = Environment()
+    net = make_network(env)
+    net.register("a", "m1")
+    with pytest.raises(NetworkError):
+        net.send(Message(sender="a", recipient="ghost", kind=KIND_DATA,
+                         payload=None))
+
+
+def test_duplicate_endpoint_rejected():
+    env = Environment()
+    net = make_network(env)
+    net.register("a", "m1")
+    with pytest.raises(NetworkError):
+        net.register("a", "m2")
+
+
+def test_messages_between_same_machines_share_link():
+    env = Environment()
+    net = make_network(env, latency=0.0, bandwidth=100.0)
+    net.register("a", "m1")
+    net.register("b", "m2")
+    net.register("c", "m2")
+    arrivals = []
+
+    def receiver(env, mailbox, name):
+        yield mailbox.get()
+        arrivals.append((name, env.now))
+
+    env.process(receiver(env, net.endpoint("b").mailbox, "b"))
+    env.process(receiver(env, net.endpoint("c").mailbox, "c"))
+    net.send(Message(sender="a", recipient="b", kind=KIND_DATA,
+                     payload=None, size_bytes=100))
+    net.send(Message(sender="a", recipient="c", kind=KIND_DATA,
+                     payload=None, size_bytes=100))
+    env.run()
+    # Both messages traverse the single m1->m2 link: 1 ms then 2 ms.
+    assert sorted(t for _, t in arrivals) == [pytest.approx(1.0),
+                                              pytest.approx(2.0)]
+
+
+def test_delivery_statistics_accumulate():
+    env = Environment()
+    net = make_network(env)
+    net.register("a", "m1")
+    net.register("b", "m2")
+    net.send(Message(sender="a", recipient="b", kind=KIND_DATA,
+                     payload=None, size_bytes=100))
+    net.send(Message(sender="a", recipient="b", kind=KIND_DATA,
+                     payload=None, size_bytes=200))
+    env.run()
+    assert net.messages_delivered == 2
+    assert net.bytes_delivered == 300

@@ -1,0 +1,43 @@
+"""Unit tests for the SOAP-style serialization cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net import SerializationModel
+
+
+class TestSerializationModel:
+    def test_serialize_work_scales_linearly(self):
+        model = SerializationModel(serialize_per_message=2.0,
+                                   serialize_per_tuple=0.5)
+        assert model.serialize_work(0) == 2.0
+        assert model.serialize_work(10) == 7.0
+
+    def test_deserialize_work(self):
+        model = SerializationModel(deserialize_per_message=1.0,
+                                   deserialize_per_tuple=0.1)
+        assert model.deserialize_work(50) == pytest.approx(6.0)
+
+    def test_wire_size_inflates_payload(self):
+        model = SerializationModel(envelope_bytes=100, size_inflation=2.0)
+        assert model.wire_size(1000) == 2100
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SerializationModel(serialize_per_tuple=-0.1)
+        with pytest.raises(ConfigurationError):
+            SerializationModel(envelope_bytes=-1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_costs_are_monotone_in_tuple_count(self, count):
+        model = SerializationModel()
+        assert model.serialize_work(count + 1) >= model.serialize_work(count)
+        assert (model.deserialize_work(count + 1)
+                >= model.deserialize_work(count))
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_wire_size_at_least_envelope(self, payload):
+        model = SerializationModel()
+        assert model.wire_size(payload) >= model.envelope_bytes

@@ -1,0 +1,112 @@
+"""Tests for aggregate parsing and planning."""
+
+import pytest
+
+from repro.data import Column, Schema
+from repro.errors import ParseError, PlanningError
+from repro.planner import build_logical_plan, parse
+from repro.planner.ast import STAR, AggregateCall, FunctionCall
+
+SCHEMAS = {
+    "orders": Schema([Column("cid", "str", 12), Column("amount", "int"),
+                      Column("region", "str", 8)]),
+    "customers": Schema([Column("cid", "str", 12),
+                         Column("tier", "str", 8)]),
+}
+CARDINALITIES = {"orders": 100, "customers": 40}
+
+
+def plan_for(text):
+    return build_logical_plan(parse(text), SCHEMAS, CARDINALITIES)
+
+
+class TestAggregateParsing:
+    def test_count_star(self):
+        query = parse("select count(*) from orders")
+        assert query.items[0] == AggregateCall("count", STAR)
+        assert query.is_aggregate
+
+    def test_aggregates_over_columns(self):
+        query = parse("select sum(o.amount), min(o.amount), max(o.amount), "
+                      "avg(o.amount) from orders o")
+        assert all(isinstance(item, AggregateCall) for item in query.items)
+
+    def test_aggregate_over_ws_call(self):
+        query = parse("select avg(Score(o.amount)) from orders o")
+        call = query.items[0]
+        assert isinstance(call, AggregateCall)
+        assert isinstance(call.argument, FunctionCall)
+
+    def test_group_by_clause(self):
+        query = parse("select o.region, count(*) from orders o "
+                      "group by o.region")
+        assert [ref.name for ref in query.group_by] == ["o.region"]
+
+    def test_star_outside_count_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select sum(*) from orders")
+        with pytest.raises(ParseError):
+            parse("select Ws(*) from orders")
+
+    def test_nested_call_in_non_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select Outer(Inner(o.amount)) from orders o")
+
+    def test_group_without_by_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select count(*) from orders group o.region")
+
+
+class TestAggregatePlanning:
+    def test_count_star_plan(self):
+        plan = plan_for("select count(*) from orders")
+        aggregation = plan.aggregation
+        assert aggregation is not None
+        assert aggregation.group_positions == []
+        assert aggregation.aggregates == [("count", None)]
+        assert plan.output_schema.names() == ["count_star"]
+
+    def test_group_by_projection_is_minimal(self):
+        plan = plan_for("select o.region, sum(o.amount) from orders o "
+                        "group by o.region")
+        # Compute subplan ships only region and amount.
+        assert plan.project_positions == [2, 1]
+        assert plan.aggregation.group_positions == [0]
+        assert plan.aggregation.aggregates == [("sum", 1)]
+        assert plan.output_schema.names() == ["region", "sum_amount"]
+
+    def test_output_layout_preserves_select_order(self):
+        plan = plan_for("select count(*), o.region from orders o "
+                        "group by o.region")
+        assert plan.aggregation.output_layout == [("agg", 0), ("group", 0)]
+        assert plan.output_schema.names() == ["count_star", "region"]
+
+    def test_aggregate_over_ws_call_adds_apply(self):
+        plan = plan_for("select avg(Score(o.amount)) from orders o")
+        assert len(plan.applies) == 1
+        assert plan.applies[0].function_name == "Score"
+        assert plan.aggregation.aggregates[0][0] == "avg"
+
+    def test_aggregate_over_join(self):
+        plan = plan_for(
+            "select c.tier, count(*) from orders o, customers c "
+            "where o.cid = c.cid group by c.tier")
+        assert plan.is_join_query
+        assert plan.aggregation is not None
+
+    def test_duplicate_output_names_deduplicated(self):
+        plan = plan_for("select sum(o.amount), sum(o.amount) from orders o")
+        names = plan.output_schema.names()
+        assert len(set(names)) == 2
+
+    def test_non_grouped_plain_column_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_for("select o.region, count(*) from orders o")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_for("select o.region from orders o group by o.region")
+
+    def test_mixing_plain_ws_call_with_aggregates_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_for("select Ws(o.amount), count(*) from orders o")

@@ -1,0 +1,136 @@
+"""Unit tests for logical planning and name resolution."""
+
+import pytest
+
+from repro.data import Column, Row, Schema
+from repro.errors import PlanningError
+from repro.planner import build_logical_plan, parse
+from repro.workloads.queries import Q1, Q2
+
+SCHEMAS = {
+    "protein_sequences": Schema([Column("ORF", "str", 16),
+                                 Column("sequence", "str", 64)]),
+    "protein_interactions": Schema([Column("ORF1", "str", 16),
+                                    Column("ORF2", "str", 16)]),
+}
+CARDINALITIES = {"protein_sequences": 3000, "protein_interactions": 4700}
+
+
+def plan_for(text):
+    return build_logical_plan(parse(text), SCHEMAS, CARDINALITIES)
+
+
+class TestSingleTablePlans:
+    def test_q1_shape(self):
+        plan = plan_for(Q1)
+        assert not plan.is_join_query
+        assert len(plan.scans) == 1
+        assert len(plan.applies) == 1
+        apply = plan.applies[0]
+        assert apply.function_name == "EntropyAnalyser"
+        assert apply.argument_position == 1  # p.sequence
+        # Projection keeps only the appended result column.
+        assert plan.project_positions == [2]
+        assert plan.output_schema.names() == ["entropyanalyser"]
+
+    def test_plain_column_projection(self):
+        plan = plan_for("select p.ORF from protein_sequences p")
+        assert plan.project_positions == [0]
+        assert plan.output_schema.names() == ["ORF"]
+
+    def test_filter_pushed_to_scan(self):
+        plan = plan_for(
+            "select p.ORF from protein_sequences p where p.ORF = 'X'")
+        assert len(plan.scans[0].filters) == 1
+        _comparison, predicate = plan.scans[0].filters[0]
+        assert predicate(Row(("X", "s"), "t#0"))
+        assert not predicate(Row(("Y", "s"), "t#0"))
+
+    @pytest.mark.parametrize("op,value,match,no_match", [
+        ("=", 5, (5,), (6,)),
+        ("!=", 5, (6,), (5,)),
+        ("<", 5, (4,), (5,)),
+        ("<=", 5, (5,), (6,)),
+        (">", 5, (6,), (5,)),
+        (">=", 5, (5,), (4,)),
+    ])
+    def test_filter_operators(self, op, value, match, no_match):
+        schemas = {"t": Schema([Column("a", "int")])}
+        plan = build_logical_plan(
+            parse(f"select a from t where a {op} {value}"),
+            schemas, {"t": 10})
+        _c, predicate = plan.scans[0].filters[0]
+        assert predicate(Row(match, "x"))
+        assert not predicate(Row(no_match, "x"))
+
+
+class TestJoinPlans:
+    def test_q2_builds_on_smaller_table(self):
+        plan = plan_for(Q2)
+        assert plan.is_join_query
+        join = plan.join
+        assert join.build.table_name == "protein_sequences"  # 3000 < 4700
+        assert join.probe.table_name == "protein_interactions"
+        assert join.build_key_position == 0   # p.ORF
+        assert join.probe_key_position == 0   # i.ORF1
+
+    def test_q2_projection_resolves_through_join_layout(self):
+        plan = plan_for(Q2)
+        # Join output layout: probe columns (ORF1, ORF2) then build
+        # columns (ORF, sequence); i.ORF2 is at position 1.
+        assert plan.project_positions == [1]
+        assert plan.output_schema.names() == ["ORF2"]
+
+    def test_build_side_column_resolves_with_offset(self):
+        plan = plan_for(
+            "select p.sequence from protein_sequences p, "
+            "protein_interactions i where i.ORF1 = p.ORF")
+        assert plan.project_positions == [3]  # 2 probe cols + position 1
+
+    def test_join_schema_concatenation(self):
+        plan = plan_for(Q2)
+        assert plan.join.schema.names() == ["ORF1", "ORF2", "ORF",
+                                            "sequence"]
+
+
+class TestPlanningErrors:
+    def test_unknown_table(self):
+        with pytest.raises(PlanningError):
+            plan_for("select a from mystery")
+
+    def test_unknown_column(self):
+        with pytest.raises(PlanningError):
+            plan_for("select p.nope from protein_sequences p")
+
+    def test_wrong_alias(self):
+        with pytest.raises(PlanningError):
+            plan_for("select q.ORF from protein_sequences p")
+
+    def test_ambiguous_column(self):
+        schemas = {"t": Schema([Column("a", "int")]),
+                   "s": Schema([Column("a", "int")])}
+        with pytest.raises(PlanningError):
+            build_logical_plan(
+                parse("select a from t, s where t.a = s.a"),
+                schemas, {"t": 1, "s": 1})
+
+    def test_two_tables_require_join_predicate(self):
+        with pytest.raises(PlanningError):
+            plan_for("select p.ORF from protein_sequences p, "
+                     "protein_interactions i")
+
+    def test_join_predicate_must_be_equality(self):
+        with pytest.raises(PlanningError):
+            plan_for("select p.ORF from protein_sequences p, "
+                     "protein_interactions i where i.ORF1 < p.ORF")
+
+    def test_self_join_predicate_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_for("select p.ORF from protein_sequences p, "
+                     "protein_interactions i where p.ORF = p.sequence")
+
+    def test_join_without_second_table_rejected(self):
+        schemas = {"t": Schema([Column("a", "int"), Column("b", "int")])}
+        with pytest.raises(PlanningError):
+            build_logical_plan(
+                parse("select a from t where a = b"), schemas, {"t": 1})

@@ -1,0 +1,119 @@
+"""Unit tests for the scheduling optimizer."""
+
+import pytest
+
+from repro.data import Column, Schema
+from repro.errors import PlanningError
+from repro.grid import GridContext, OperationMetadata, TableMetadata
+from repro.planner import (
+    POLICY_HASH,
+    POLICY_WRR,
+    build_logical_plan,
+    optimize,
+    parse,
+)
+
+SCHEMAS = {
+    "protein_sequences": Schema([Column("ORF", "str", 16),
+                                 Column("sequence", "str", 64)]),
+    "protein_interactions": Schema([Column("ORF1", "str", 16),
+                                    Column("ORF2", "str", 16)]),
+}
+CARDINALITIES = {"protein_sequences": 3000, "protein_interactions": 4700}
+
+
+def make_registry(compute=2, speeds=None):
+    context = GridContext(seed=0)
+    context.add_machine("coordinator", compute=False)
+    context.add_machine("data-host", compute=False)
+    speeds = speeds or [1.0] * compute
+    for index in range(compute):
+        context.add_machine(f"compute-{index + 1}", speed=speeds[index])
+    for table, cardinality in CARDINALITIES.items():
+        context.registry.add_table(TableMetadata(
+            table, f"gds:{table}", "data-host", cardinality,
+            SCHEMAS[table].width_bytes))
+    context.registry.add_operation(OperationMetadata(
+        "EntropyAnalyser", ["compute-1", "compute-2"], 5.0))
+    return context.registry
+
+
+def physical_for(text, registry, degree=None):
+    logical = build_logical_plan(parse(text), SCHEMAS, CARDINALITIES)
+    return optimize(logical, registry, "coordinator", degree=degree)
+
+
+class TestQ1Plan:
+    QUERY = "select EntropyAnalyser(p.sequence) from protein_sequences p"
+
+    def test_scan_placed_on_data_host(self):
+        plan = physical_for(self.QUERY, make_registry())
+        assert len(plan.scans) == 1
+        assert plan.scans[0].machine_name == "data-host"
+        assert plan.scans[0].estimated_total == 3000
+
+    def test_compute_partitioned_across_compute_machines(self):
+        plan = physical_for(self.QUERY, make_registry())
+        assert plan.compute.machine_names == ("compute-1", "compute-2")
+        assert plan.compute.policy_kind == POLICY_WRR
+        assert plan.compute.join_keys is None
+        assert plan.compute.applies == (("EntropyAnalyser", 1),)
+
+    def test_uniform_weights_for_homogeneous_machines(self):
+        plan = physical_for(self.QUERY, make_registry())
+        assert plan.compute.initial_weights == (0.5, 0.5)
+
+    def test_weights_proportional_to_machine_speed(self):
+        plan = physical_for(self.QUERY,
+                            make_registry(speeds=[3.0, 1.0]))
+        assert plan.compute.initial_weights == (0.75, 0.25)
+
+    def test_degree_caps_parallelism(self):
+        plan = physical_for(self.QUERY, make_registry(compute=3), degree=2)
+        assert plan.partitioning_degree == 2
+
+    def test_degree_exceeding_machines_rejected(self):
+        with pytest.raises(PlanningError):
+            physical_for(self.QUERY, make_registry(), degree=5)
+
+    def test_unknown_operation_rejected(self):
+        registry = make_registry()
+        with pytest.raises(PlanningError):
+            physical_for("select Mystery(p.sequence) "
+                         "from protein_sequences p", registry)
+
+    def test_machines_used_lists_all_distinct(self):
+        plan = physical_for(self.QUERY, make_registry())
+        assert plan.machines_used() == ["data-host", "compute-1",
+                                        "compute-2", "coordinator"]
+
+
+class TestQ2Plan:
+    QUERY = ("select i.ORF2 from protein_sequences p, "
+             "protein_interactions i where i.ORF1 = p.ORF")
+
+    def test_two_scans_with_ports(self):
+        plan = physical_for(self.QUERY, make_registry())
+        ports = {scan.table_name: scan.target_port for scan in plan.scans}
+        assert ports == {"protein_sequences": 0,
+                         "protein_interactions": 1}
+
+    def test_hash_policy_with_key_positions(self):
+        plan = physical_for(self.QUERY, make_registry())
+        assert plan.compute.policy_kind == POLICY_HASH
+        assert plan.compute.join_keys == (0, 0)
+        for scan in plan.scans:
+            assert scan.key_position == 0
+
+    def test_row_bytes_follow_schemas(self):
+        plan = physical_for(self.QUERY, make_registry())
+        by_table = {scan.table_name: scan.row_bytes for scan in plan.scans}
+        assert by_table["protein_sequences"] == 80
+        assert by_table["protein_interactions"] == 32
+        assert plan.compute.output_row_bytes == 16
+
+    def test_query_ids_unique(self):
+        registry = make_registry()
+        first = physical_for(self.QUERY, registry)
+        second = physical_for(self.QUERY, registry)
+        assert first.query_id != second.query_id

@@ -1,0 +1,108 @@
+"""Unit tests for the mini-SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.planner import (
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    parse,
+    tokenize,
+)
+from repro.workloads.queries import Q1, Q2
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("select a.b from t x where a.b = 'v'")
+        kinds = [kind for kind, _v in tokens]
+        assert kinds == ["keyword", "ident", "punct", "ident", "keyword",
+                         "ident", "ident", "keyword", "ident", "punct",
+                         "ident", "op", "string"]
+
+    def test_numbers(self):
+        tokens = tokenize("where x > 3.5")
+        assert ("number", "3.5") in tokens
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a <= b >= c != d")
+        ops = [value for kind, value in tokens if kind == "op"]
+        assert ops == ["<=", ">=", "!="]
+
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("SELECT x FROM t")
+        assert tokens[0] == ("keyword", "select")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("select @ from t")
+
+
+class TestParser:
+    def test_parses_q1(self):
+        query = parse(Q1)
+        assert len(query.items) == 1
+        item = query.items[0]
+        assert isinstance(item, FunctionCall)
+        assert item.function_name == "EntropyAnalyser"
+        assert item.argument == ColumnRef("p.sequence")
+        assert query.tables[0].table_name == "protein_sequences"
+        assert query.tables[0].alias == "p"
+        assert query.conditions == ()
+
+    def test_parses_q2(self):
+        query = parse(Q2)
+        assert [t.table_name for t in query.tables] == [
+            "protein_sequences", "protein_interactions"]
+        assert len(query.join_conditions) == 1
+        join = query.join_conditions[0]
+        assert join.left == ColumnRef("i.ORF1")
+        assert join.right == ColumnRef("p.ORF")
+        assert join.op == "="
+
+    def test_filter_with_string_literal(self):
+        query = parse("select a from t where a = 'x'")
+        condition = query.conditions[0]
+        assert not condition.is_join
+        assert condition.right == Literal("x")
+
+    def test_filter_with_numeric_literals(self):
+        query = parse("select a from t where a > 5 and b <= 2.5")
+        assert query.conditions[0].right == Literal(5)
+        assert query.conditions[1].right == Literal(2.5)
+
+    def test_multiple_select_items(self):
+        query = parse("select a, b, F(c) from t")
+        assert len(query.items) == 3
+        assert isinstance(query.items[2], FunctionCall)
+
+    def test_table_without_alias(self):
+        query = parse("select a from t")
+        assert query.tables[0].alias is None
+        assert query.tables[0].binding == "t"
+
+    def test_trailing_semicolon_accepted(self):
+        parse("select a from t;")
+
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "select",
+        "select from t",
+        "select a",
+        "select a from",
+        "select a from t where",
+        "select a from t where a =",
+        "select a from t extra garbage =",
+        "select F( from t",
+        "select a from t where a ~ b",
+    ])
+    def test_malformed_queries_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_join_vs_filter_classification(self):
+        query = parse("select a from t u, s v where u.a = v.b and u.c = 1")
+        assert len(query.join_conditions) == 1
+        assert len(query.filter_conditions) == 1

@@ -1,0 +1,77 @@
+"""Engine-parameter sweeps: correctness must not depend on buffer or
+checkpoint granularity."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import AdaptivityConfig, EngineConfig
+from repro.services.ws import shannon_entropy
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+)
+
+SPEC = DemoGridSpec(sequences_cardinality=80, interactions_cardinality=110,
+                    sequence_length=16)
+
+slow_settings = settings(max_examples=10, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(buffer_size=st.integers(min_value=1, max_value=120),
+       checkpoint_interval=st.integers(min_value=1, max_value=120))
+@slow_settings
+def test_q1_r1_correct_for_any_granularity(buffer_size,
+                                           checkpoint_interval):
+    engine = EngineConfig(buffer_size=buffer_size,
+                          checkpoint_interval=checkpoint_interval,
+                          logging_enabled=True)
+    grid = DemoGrid(SPEC, engine_config=engine)
+    perturb_ws_cost(grid, 10.0)
+    result = grid.run(Q1, AdaptivityConfig(response="R1",
+                                           decision_latency_ms=50.0))
+    expected = sorted(
+        shannon_entropy(s) for s in grid.gds_map[
+            "protein_sequences"].relation.column_values("sequence"))
+    got = sorted(v[0] for v in result.values())
+    assert len(got) == len(expected)
+    assert all(math.isclose(a, b) for a, b in zip(got, expected))
+
+
+@given(buffer_size=st.integers(min_value=1, max_value=80),
+       checkpoint_interval=st.integers(min_value=1, max_value=80))
+@slow_settings
+def test_q2_r1_correct_for_any_granularity(buffer_size,
+                                           checkpoint_interval):
+    engine = EngineConfig(buffer_size=buffer_size,
+                          checkpoint_interval=checkpoint_interval,
+                          logging_enabled=True)
+    grid = DemoGrid(SPEC, engine_config=engine)
+    perturb_join_sleep(grid, 12.0)
+    result = grid.run(Q2, AdaptivityConfig(response="R1",
+                                           decision_latency_ms=50.0,
+                                           cooldown_ms=100.0))
+    sequences = grid.gds_map["protein_sequences"].relation
+    interactions = grid.gds_map["protein_interactions"].relation
+    orfs = set(sequences.column_values("ORF"))
+    expected = sorted(o2 for o1, o2 in (r.values for r in interactions)
+                      if o1 in orfs)
+    assert sorted(v[0] for v in result.values()) == expected
+
+
+@given(hash_buckets=st.integers(min_value=2, max_value=1024))
+@slow_settings
+def test_q2_correct_for_any_bucket_count(hash_buckets):
+    grid = DemoGrid(SPEC)
+    perturb_join_sleep(grid, 10.0)
+    result = grid.run(Q2, AdaptivityConfig(response="R1",
+                                           hash_buckets=hash_buckets,
+                                           decision_latency_ms=50.0))
+    assert result.stats.result_count == SPEC.interactions_cardinality

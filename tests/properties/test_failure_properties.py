@@ -1,0 +1,85 @@
+"""Property-based tests for failure recovery.
+
+Whatever the failure time — during the feed, the build, the probe, or
+near completion — and whatever the adaptivity policy, results must be
+exactly the static no-failure results.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import AdaptivityConfig, FaultToleranceConfig
+from repro.services.ws import shannon_entropy
+from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2, perturb_ws_cost
+
+SPEC = DemoGridSpec(sequences_cardinality=90, interactions_cardinality=130,
+                    sequence_length=16, spare_machines=1)
+FT = FaultToleranceConfig(enabled=True, heartbeat_interval_ms=150.0,
+                          failure_timeout_ms=500.0)
+
+slow_settings = settings(max_examples=10, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+def q1_reference(grid):
+    relation = grid.gds_map["protein_sequences"].relation
+    return sorted(shannon_entropy(s)
+                  for s in relation.column_values("sequence"))
+
+
+def q2_reference(grid):
+    sequences = grid.gds_map["protein_sequences"].relation
+    interactions = grid.gds_map["protein_interactions"].relation
+    orfs = set(sequences.column_values("ORF"))
+    return sorted(o2 for o1, o2 in (r.values for r in interactions)
+                  if o1 in orfs)
+
+
+@given(fail_at=st.floats(min_value=50.0, max_value=2500.0),
+       victim=st.sampled_from(["compute-1", "compute-2"]))
+@slow_settings
+def test_q1_exactly_once_for_any_failure_time(fail_at, victim):
+    grid = DemoGrid(SPEC, fault_tolerance=FT)
+    grid.fail_machine_at(victim, at_ms=fail_at)
+    result = grid.run(Q1, AdaptivityConfig.disabled())
+    got = sorted(v[0] for v in result.values())
+    expected = q1_reference(grid)
+    assert len(got) == len(expected)
+    assert all(math.isclose(a, b) for a, b in zip(got, expected))
+
+
+@given(fail_at=st.floats(min_value=100.0, max_value=3000.0))
+@slow_settings
+def test_q2_exactly_once_for_any_failure_time(fail_at):
+    grid = DemoGrid(SPEC, fault_tolerance=FT)
+    grid.fail_machine_at("compute-2", at_ms=fail_at)
+    result = grid.run(Q2, AdaptivityConfig.disabled())
+    assert sorted(v[0] for v in result.values()) == q2_reference(grid)
+
+
+@given(fail_at=st.floats(min_value=200.0, max_value=2000.0),
+       response=st.sampled_from(["R1", "R2"]))
+@slow_settings
+def test_failure_composed_with_adaptation(fail_at, response):
+    grid = DemoGrid(SPEC, fault_tolerance=FT)
+    perturb_ws_cost(grid, 6.0)
+    grid.fail_machine_at("compute-2", at_ms=fail_at)
+    result = grid.run(Q1, AdaptivityConfig(response=response,
+                                           decision_latency_ms=100.0))
+    got = sorted(v[0] for v in result.values())
+    expected = q1_reference(grid)
+    assert len(got) == len(expected)
+    assert all(math.isclose(a, b) for a, b in zip(got, expected))
+
+
+@given(fail_at=st.floats(min_value=100.0, max_value=1500.0))
+@slow_settings
+def test_aggregates_invariant_under_failure(fail_at):
+    grid = DemoGrid(SPEC, fault_tolerance=FT)
+    grid.fail_machine_at("compute-2", at_ms=fail_at)
+    result = grid.run("select count(*) from protein_sequences p",
+                      AdaptivityConfig.disabled())
+    assert result.values()[0][0] == SPEC.sequences_cardinality

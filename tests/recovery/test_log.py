@@ -1,0 +1,133 @@
+"""Unit and property tests for the recovery log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tuples import Row
+from repro.errors import RecoveryError
+from repro.recovery import Acknowledgement, Checkpoint, RecoveryLog
+
+
+def rows(start, count):
+    return [Row((i,), f"t#{i}") for i in range(start, start + count)]
+
+
+class TestRecoveryLog:
+    def test_outstanding_contains_all_unacked(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 5):
+            log.append(row)
+        log.seal(1)
+        for row in rows(5, 3):
+            log.append(row)
+        assert [r.tid for r in log.outstanding()] == [
+            f"t#{i}" for i in range(8)]
+        assert len(log) == 8
+
+    def test_acknowledge_prunes_up_to_checkpoint(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 4):
+            log.append(row)
+        log.seal(1)
+        for row in rows(4, 4):
+            log.append(row)
+        log.seal(2)
+        freed = log.acknowledge(1)
+        assert freed == 4
+        assert [r.tid for r in log.outstanding()] == [
+            f"t#{i}" for i in range(4, 8)]
+
+    def test_acknowledge_covers_multiple_segments(self):
+        log = RecoveryLog("ch")
+        for checkpoint in (1, 2, 3):
+            for row in rows(checkpoint * 10, 2):
+                log.append(row)
+            log.seal(checkpoint)
+        assert log.acknowledge(2) == 4
+        assert len(log) == 2
+
+    def test_acknowledge_unknown_checkpoint_is_noop(self):
+        log = RecoveryLog("ch")
+        log.append(rows(0, 1)[0])
+        assert log.acknowledge(99) == 0  # open segment never pruned
+        assert len(log) == 1
+
+    def test_checkpoint_ids_must_increase(self):
+        log = RecoveryLog("ch")
+        log.seal(5)
+        with pytest.raises(RecoveryError):
+            log.seal(5)
+        with pytest.raises(RecoveryError):
+            log.seal(4)
+
+    def test_remove_extracts_moved_tuples(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 6):
+            log.append(row)
+        log.seal(1)
+        for row in rows(6, 2):
+            log.append(row)
+        removed = log.remove({"t#1", "t#6"})
+        assert sorted(r.tid for r in removed) == ["t#1", "t#6"]
+        assert len(log) == 6
+        assert "t#1" not in [r.tid for r in log.outstanding()]
+
+    def test_remove_unknown_tids_is_noop(self):
+        log = RecoveryLog("ch")
+        log.append(rows(0, 1)[0])
+        assert log.remove({"nope"}) == []
+        assert len(log) == 1
+
+    def test_clear(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 5):
+            log.append(row)
+        log.seal(1)
+        log.clear()
+        assert len(log) == 0
+        assert log.outstanding() == []
+
+    def test_counters(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 10):
+            log.append(row)
+        log.seal(1)
+        log.acknowledge(1)
+        assert log.appended_total == 10
+        assert log.acknowledged_total == 10
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=5),
+                          st.booleans()),
+                min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_log_invariant_outstanding_equals_appended_minus_acked(script):
+    """Randomised append/seal/ack scripts keep the size invariant."""
+    log = RecoveryLog("ch")
+    appended = 0
+    acked = 0
+    checkpoint = 0
+    pending_checkpoints = []
+    for count, do_ack in script:
+        for row in rows(appended, count):
+            log.append(row)
+        appended += count
+        checkpoint += 1
+        log.seal(checkpoint)
+        pending_checkpoints.append((checkpoint, count))
+        if do_ack and pending_checkpoints:
+            ack_id, _ = pending_checkpoints[len(pending_checkpoints) // 2]
+            freed = log.acknowledge(ack_id)
+            acked += freed
+            pending_checkpoints = [
+                (cid, n) for cid, n in pending_checkpoints if cid > ack_id]
+    assert len(log) == appended - acked
+    assert len(log.outstanding()) == appended - acked
+
+
+def test_checkpoint_dataclasses():
+    marker = Checkpoint(3, "xp:feed0:0", 150)
+    ack = Acknowledgement(3, "xp:feed0:0", "compute:0:0")
+    assert marker.checkpoint_id == ack.checkpoint_id
+    assert ack.channel_key == "compute:0:0"

@@ -1,0 +1,183 @@
+"""Unit tests for the DES environment and process model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    proc = env.process(body(env))
+    env.run()
+    assert env.now == 5.0
+    assert proc.value == "done"
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    trace = []
+
+    def body(env, name, delay):
+        yield env.timeout(delay)
+        trace.append((env.now, name))
+
+    env.process(body(env, "slow", 10.0))
+    env.process(body(env, "fast", 1.0))
+    env.process(body(env, "mid", 5.0))
+    env.run()
+    assert trace == [(1.0, "fast"), (5.0, "mid"), (10.0, "slow")]
+
+
+def test_nested_process_returns_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + 1
+
+    proc = env.process(parent(env))
+    env.run()
+    assert proc.value == 43
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(3.0)
+        return "x"
+
+    proc = env.process(body(env))
+    assert env.run(until=proc) == "x"
+    assert env.now == 3.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(100.0)
+
+    env.process(body(env))
+    env.run(until=7.5)
+    assert env.now == 7.5
+
+
+def test_exception_in_process_propagates_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(env):
+        with pytest.raises(ValueError, match="boom"):
+            yield env.process(child(env))
+        return "recovered"
+
+    proc = env.process(parent(env))
+    env.run()
+    assert proc.value == "recovered"
+
+
+def test_unhandled_process_failure_raised_by_run():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(body(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_waiting_on_already_processed_event_resumes():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def body(env):
+        value = yield done
+        return value
+
+    # Let the event be processed before the process waits on it.
+    env.run(until=0)
+    proc = env.process(body(env))
+    env.run()
+    assert proc.value == "early"
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def body(env):
+        events = [env.timeout(3.0, "c"), env.timeout(1.0, "a"),
+                  env.timeout(2.0, "b")]
+        values = yield env.all_of(events)
+        return values
+
+    proc = env.process(body(env))
+    env.run()
+    assert proc.value == ["c", "a", "b"]
+    assert env.now == 3.0
+
+
+def test_any_of_returns_first_winner():
+    env = Environment()
+
+    def body(env):
+        slow = env.timeout(9.0, "slow")
+        fast = env.timeout(1.0, "fast")
+        winner, value = yield env.any_of([slow, fast])
+        assert winner is fast
+        return value
+
+    proc = env.process(body(env))
+    env.run(until=proc)
+    assert proc.value == "fast"
+    assert env.now == 1.0
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    trace = []
+
+    def body(env, name):
+        yield env.timeout(1.0)
+        trace.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(body(env, name))
+    env.run()
+    assert trace == ["a", "b", "c"]

@@ -1,0 +1,71 @@
+"""Tests for the repro-query command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ["--sequences", "120", "--interactions", "150"]
+
+
+class TestCli:
+    def test_static_query(self, capsys):
+        code, out = run_cli(
+            capsys, "select p.ORF from protein_sequences p",
+            "--static", *SMALL)
+        assert code == 0
+        assert "results: 120 rows" in out
+        assert "adaptations: 0 accepted" in out
+
+    def test_adaptive_with_perturbation(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "select EntropyAnalyser(p.sequence) from protein_sequences p",
+            "--perturb-ws", "10", "--response", "R1", *SMALL)
+        assert code == 0
+        assert "results: 120 rows" in out
+
+    def test_aggregate_query(self, capsys):
+        _code, out = run_cli(
+            capsys, "select count(*) from protein_sequences p",
+            "--static", *SMALL)
+        assert "results: 1 rows" in out
+        assert "(120,)" in out
+
+    def test_timeline_flag(self, capsys):
+        _code, out = run_cli(
+            capsys,
+            "select EntropyAnalyser(p.sequence) from protein_sequences p",
+            "--perturb-ws", "10", "--timeline", *SMALL)
+        assert "cost notification" in out
+
+    def test_failure_injection(self, capsys):
+        _code, out = run_cli(
+            capsys,
+            "select EntropyAnalyser(p.sequence) from protein_sequences p",
+            "--fail-machine", "compute-2", "--fail-at", "400",
+            "--static", *SMALL)
+        assert "failures recovered: 1" in out
+        assert "results: 120 rows" in out
+
+    def test_rows_limit(self, capsys):
+        _code, out = run_cli(
+            capsys, "select p.ORF from protein_sequences p",
+            "--static", "--rows", "2", *SMALL)
+        assert "... 118 more" in out
+
+    def test_degree_option(self, capsys):
+        _code, out = run_cli(
+            capsys, "select p.ORF from protein_sequences p",
+            "--static", "--degree", "1", *SMALL)
+        assert "tuples per machine: [120]" in out
+
+    def test_parser_rejects_bad_response(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["q", "--response", "R9"])
