@@ -140,6 +140,12 @@ class FaultToleranceConfig:
 class EngineConfig:
     """Query-engine execution parameters."""
 
+    #: Morsel size of the batch-granular execution core: operators move
+    #: up to this many tuples per ``next_batch`` call, with per-tuple
+    #: CPU costs aggregated into one simulator event per batch.  1
+    #: degrades to the original per-tuple iterator pipeline (exact seed
+    #: semantics, used for A/B equivalence testing).
+    batch_size: int = 32
     #: Tuples per exchange buffer (one M2 event per buffer sent).
     buffer_size: int = 50
     #: Checkpoint tuples inserted every this many data tuples per
@@ -150,6 +156,9 @@ class EngineConfig:
     logging_enabled: bool = True
 
     def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1: {self.batch_size}")
         if self.buffer_size < 1:
             raise ConfigurationError(
                 f"buffer_size must be >= 1: {self.buffer_size}")

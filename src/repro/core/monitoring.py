@@ -82,6 +82,29 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
         }
         self._observe(key, event.cost_per_tuple_ms)
 
+    def submit_m1_batch(self, event: M1Event, count: int) -> None:
+        """Ingest ``count`` M1 events sharing one batch's aggregate cost.
+
+        Emitted when a morsel crosses several ``m1_interval``
+        boundaries: the sliding window receives ``count`` observations
+        (as many as the per-tuple pipeline would deliver) while the
+        detector's processing cost is charged as a single CPU burst.
+        """
+        if count <= 0:
+            return
+        self.raw_events_received += count
+        self.machine.cpu.execute(self.cost.control_event_work * count,
+                                 label="detector")
+        key = f"m1|{event.instance_id}"
+        self._meta[key] = {
+            "kind": "m1",
+            "instance_id": event.instance_id,
+            "recipient_channel": None,
+            "subplan_id": event.subplan_id,
+        }
+        for _ in range(count):
+            self._observe(key, event.cost_per_tuple_ms)
+
     def submit_m2(self, producer_id: str, recipient_channel: str,
                   send_cost_ms: float, tuple_count: int) -> M2Event:
         """Ingest one M2 event (per buffer sent) from a local producer."""

@@ -1,5 +1,6 @@
 """Relational data model: schemas, provenance-tracked rows, relations."""
 
+from repro.data.batch import Batch
 from repro.data.generator import (
     AMINO_ACIDS,
     INTERACTIONS_CARDINALITY,
@@ -16,6 +17,7 @@ from repro.data.tuples import Row, Tid, make_base_tid, row_size_bytes
 
 __all__ = [
     "AMINO_ACIDS",
+    "Batch",
     "Column",
     "INTERACTIONS_CARDINALITY",
     "Relation",

@@ -1,0 +1,80 @@
+"""Morsel-driven batches of provenance-tracked rows.
+
+The engine's hot path moves :class:`Batch` objects — ordered containers
+of :class:`~repro.data.tuples.Row`s — between operators instead of one
+row at a time, so a chain of ``next_batch()`` calls schedules one
+simulator event per *batch* of CPU work rather than one per tuple.
+Per-tuple provenance is untouched: a batch is a view over its rows,
+every row keeps its ``tid``, and recovery / dedup / repartitioning
+logic keeps operating on individual tuples.
+
+``EngineConfig.batch_size`` controls the morsel size; ``batch_size=1``
+degrades every ``next_batch`` path to the original per-tuple iterator
+semantics, which is what the equivalence property tests exploit.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.data.tuples import Row, Tid
+
+
+class Batch:
+    """An ordered, immutable-by-convention morsel of rows.
+
+    Operators may share the underlying list when they do not mutate it
+    (e.g. a pass-through exchange); transforming operators build a new
+    ``Batch`` via :meth:`replace_rows`.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: typing.Sequence[Row]) -> None:
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> typing.Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Batch of {len(self.rows)} rows>"
+
+    # -- provenance and accounting ------------------------------------
+
+    def tids(self) -> list[Tid]:
+        """Provenance ids of every row, in batch order."""
+        return [row.tid for row in self.rows]
+
+    def size_bytes(self, row_bytes: int) -> int:
+        """Approximate serialized payload size under a fixed row width."""
+        return row_bytes * len(self.rows)
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def of(cls, *rows: Row) -> "Batch":
+        return cls(list(rows))
+
+    def replace_rows(self, rows: typing.Sequence[Row]) -> "Batch":
+        """A new batch holding ``rows`` (used by transforming operators)."""
+        return Batch(rows)
+
+    def split_at(self, index: int) -> tuple["Batch", "Batch"]:
+        """Split into ``(first index rows, rest)`` preserving order."""
+        return Batch(self.rows[:index]), Batch(self.rows[index:])
+
+    def chunks(self, max_rows: int) -> typing.Iterator["Batch"]:
+        """Yield consecutive sub-batches of at most ``max_rows`` rows."""
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1: {max_rows}")
+        for start in range(0, len(self.rows), max_rows):
+            yield Batch(self.rows[start:start + max_rows])

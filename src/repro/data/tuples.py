@@ -18,12 +18,15 @@ from repro.data.schema import Schema
 Tid = typing.Union[str, tuple]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Row:
     """An immutable data tuple.
 
     (Named ``Row`` to avoid clashing with ``tuple``; the public API
     exposes it as ``repro.Row``.)
+
+    Slotted: rows are the single most-allocated object in a run, and a
+    slotted frozen dataclass avoids the per-instance ``__dict__``.
     """
 
     values: tuple

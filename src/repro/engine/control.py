@@ -10,8 +10,6 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.data.tuples import Row, Tid
-
 
 @dataclasses.dataclass
 class DataBuffer:

@@ -87,6 +87,21 @@ class DistributionPolicy(abc.ABC):
     def route(self, row: Row) -> int:
         """Consumer index for ``row``."""
 
+    def route_batch(self, rows: typing.Sequence[Row]
+                    ) -> list[tuple[int, list[Row]]]:
+        """Split a batch by destination, preserving per-channel order.
+
+        Routes the rows in sequence — so stateful policies (round-robin
+        credits) advance exactly as ``len(rows)`` :meth:`route` calls
+        would — and returns ``(consumer_index, rows)`` groups in
+        first-appearance order.  A batch under a changing weight vector
+        therefore splits identically to the per-tuple stream.
+        """
+        grouped: dict[int, list[Row]] = {}
+        for row in rows:
+            grouped.setdefault(self.route(row), []).append(row)
+        return list(grouped.items())
+
     @abc.abstractmethod
     def update_weights(self, weights: typing.Sequence[float]) -> None:
         """Install a new workload vector."""

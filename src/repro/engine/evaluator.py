@@ -84,15 +84,25 @@ class Fragment:
         # drains its whole build channel); discard whatever accumulated
         # so the first M1 batch only measures steady-state processing.
         self.ctx.metrics.drain_batch()
+        # The evaluator pumps morsels; at batch_size 1 every operator's
+        # next_batch degrades to exactly one per-tuple next() call.
+        batch_size = self.ctx.engine_config.batch_size
+        if self.ctx.monitor is not None and self.m1_interval > 0:
+            # The monitoring cadence bounds the morsel: a morsel larger
+            # than m1_interval would hold back M1 events until the whole
+            # morsel's work is done, delaying perturbation detection by
+            # up to batch_size/m1_interval times the per-tuple schedule.
+            batch_size = max(1, min(batch_size, self.m1_interval))
         while not self.halted:
             iteration_start = self.env.now
-            item = yield from self.root.next()
+            item = yield from self.root.next_batch(batch_size)
             if self.halted:
                 break
             if item is not END:
+                produced = len(item)
                 self.ctx.metrics.record_iteration(
-                    self.env.now - iteration_start, 1)
-                yield from self._maybe_emit_m1()
+                    self.env.now - iteration_start, produced)
+                yield from self._maybe_emit_m1(produced)
                 continue
             self.ctx.metrics.record_iteration(
                 self.env.now - iteration_start, 0)
@@ -113,20 +123,29 @@ class Fragment:
             yield from self.root.close()
         self.completed = True
 
-    def _maybe_emit_m1(self) -> typing.Generator:
+    def _maybe_emit_m1(self, produced: int = 1) -> typing.Generator:
+        """Emit the M1 events a morsel of ``produced`` tuples is due.
+
+        A batch may cross several ``m1_interval`` boundaries; each
+        boundary contributes one M1 event (so the detector sees exactly
+        as many raw events as the per-tuple pipeline would), all
+        carrying the batch's aggregate per-tuple cost.
+        """
         monitor = self.ctx.monitor
         if monitor is None or self.m1_interval <= 0:
             return
-        self._produced_since_m1 += 1
+        self._produced_since_m1 += produced
         if self._produced_since_m1 < self.m1_interval:
             return
-        self._produced_since_m1 = 0
-        cost_per_tuple, avg_wait, produced = self.ctx.metrics.drain_batch()
-        if produced == 0:
+        emissions = self._produced_since_m1 // self.m1_interval
+        self._produced_since_m1 -= emissions * self.m1_interval
+        cost_per_tuple, avg_wait, window_produced = (
+            self.ctx.metrics.drain_batch())
+        if window_produced == 0:
             return
-        yield from self.ctx.machine.work(
-            "monitor", self.ctx.cost.monitor_event_work)
-        monitor.submit_m1(M1Event(
+        yield from self.ctx.machine.work_batch(
+            "monitor", self.ctx.cost.monitor_event_work, emissions)
+        event = M1Event(
             instance_id=self.instance_id,
             subplan_id=self.subplan_id,
             machine_name=self.ctx.machine.name,
@@ -134,5 +153,11 @@ class Fragment:
             avg_wait_ms=avg_wait,
             selectivity=self.ctx.metrics.selectivity,
             produced_total=self.ctx.metrics.produced,
-            timestamp=self.env.now))
-        self.m1_events_emitted += 1
+            timestamp=self.env.now)
+        submit_batch = getattr(monitor, "submit_m1_batch", None)
+        if emissions > 1 and submit_batch is not None:
+            submit_batch(event, emissions)
+        else:
+            for _ in range(emissions):
+                monitor.submit_m1(event)
+        self.m1_events_emitted += emissions

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.data.batch import Batch
 from repro.data.tuples import Row, Tid
 from repro.engine.control import (
     RECHECK,
@@ -140,6 +141,43 @@ class ExchangeProducer(UnaryOperator):
         self.routed_total += 1
         return row
 
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        # Cap the morsel at the rows left until the fullest channel
+        # buffer rotates: a morsel never straddles a flush boundary, so
+        # buffers ship as soon as their 50th row is produced — the same
+        # pipeline latency as the per-tuple path — instead of waiting
+        # for the whole morsel's upstream work.  Morsels re-align at
+        # each boundary (e.g. 32, 32, 18, 32, ... for buffer size 50).
+        max_rows = max(1, min(
+            max_rows,
+            min(self.ctx.engine_config.buffer_size - filled
+                for filled in self._buffer_rows)))
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        batch = yield from self.child.next_batch(max_rows)
+        if batch is END:
+            return END
+        self.finished = False
+        if self.ctx.monitor is not None:
+            yield from self.ctx.machine.work_batch(
+                "instrument", self.ctx.cost.instrument_work_per_tuple,
+                len(batch))
+        # Route and place the whole batch synchronously (no simulated
+        # time passes), so a distribution update arriving mid-batch
+        # sees every row in the buffers/logs — exactly as the per-tuple
+        # path, where routing and buffering are atomic per row.  The
+        # aggregated log cost and the rotated-out full buffers are paid
+        # and transmitted afterwards.
+        logged = 0
+        sends: list[tuple[int, list, int]] = []
+        for index, group in self.policy.route_batch(batch.rows):
+            group_logged, group_sends = self._place_batch(index, group)
+            logged += group_logged
+            sends.extend(group_sends)
+        self.routed_total += len(batch)
+        yield from self._settle_batch(logged, sends)
+        return batch
+
     def finish(self) -> typing.Generator:
         """Flush every buffer and announce (or re-announce) channels."""
         yield from self._flush_all()
@@ -168,6 +206,63 @@ class ExchangeProducer(UnaryOperator):
         if self._buffer_rows[index] >= self.ctx.engine_config.buffer_size:
             yield from self._flush(index)
 
+    def _place_batch(self, index: int, rows: typing.Sequence[Row]
+                     ) -> tuple[int, list[tuple[int, list, int]]]:
+        """Synchronously buffer and log ``rows`` on channel ``index``.
+
+        The batch-granular half of :meth:`_enqueue` that must not yield:
+        rows are chunked at exactly the per-tuple checkpoint and
+        buffer-flush boundaries, with full buffers rotated out for later
+        transmission.  Returns ``(logged_count, sends)`` where ``sends``
+        are rotated buffers as ``(index, items, row_count)``; the caller
+        charges the aggregated log-append work and transmits via
+        :meth:`_settle_batch`.
+        """
+        log = self._logs[index]
+        config = self.ctx.engine_config
+        sends: list[tuple[int, list, int]] = []
+        logged = 0
+        position = 0
+        while position < len(rows):
+            take = len(rows) - position
+            if log is not None:
+                take = min(take, config.checkpoint_interval
+                           - self._since_checkpoint[index])
+            take = min(take, config.buffer_size - self._buffer_rows[index])
+            chunk = rows[position:position + take]
+            position += take
+            self._buffers[index].extend(chunk)
+            self._buffer_rows[index] += len(chunk)
+            self._attributed[index].update(row.tid for row in chunk)
+            if log is not None:
+                log.append_batch(chunk)
+                logged += len(chunk)
+            self._since_checkpoint[index] += len(chunk)
+            self._channel_sent_rows[index] += len(chunk)
+            if (log is not None
+                    and self._since_checkpoint[index]
+                    >= config.checkpoint_interval):
+                self._insert_checkpoint(index)
+            if self._buffer_rows[index] >= config.buffer_size:
+                sends.append((index, self._buffers[index],
+                              self._buffer_rows[index]))
+                self._buffers[index] = []
+                self._buffer_rows[index] = 0
+        return logged, sends
+
+    def _settle_batch(self, logged: int,
+                      sends: typing.Sequence[tuple[int, list, int]]
+                      ) -> typing.Generator:
+        """Pay a placed batch's aggregated costs and transmit its sends."""
+        if logged:
+            yield from self.ctx.machine.work_batch(
+                "log-append",
+                self.ctx.cost.log_append_work
+                + self.ctx.cost.log_append_work_per_byte * self.row_bytes,
+                logged)
+        for index, items, row_count in sends:
+            yield from self._transmit(index, items, row_count)
+
     def _insert_checkpoint(self, index: int) -> None:
         self._since_checkpoint[index] = 0
         self._checkpoint_seq[index] += 1
@@ -189,6 +284,11 @@ class ExchangeProducer(UnaryOperator):
         self._buffers[index] = []
         row_count = self._buffer_rows[index]
         self._buffer_rows[index] = 0
+        yield from self._transmit(index, items, row_count)
+
+    def _transmit(self, index: int, items: list, row_count: int
+                  ) -> typing.Generator:
+        """Serialize and send one (already rotated-out) buffer."""
         consumer = self.consumers[index]
         serialization = self.ctx.grid.serialization
         started = self.env.now
@@ -196,7 +296,7 @@ class ExchangeProducer(UnaryOperator):
             "serialize", serialization.serialize_work(row_count))
         payload = DataBuffer(consumer.channel_key, self.producer_id,
                              items, row_count)
-        wire_bytes = serialization.wire_size(row_count * self.row_bytes)
+        wire_bytes = serialization.wire_size_batch(row_count, self.row_bytes)
         # Synchronous send: the SOAP/HTTP call returns at delivery.
         yield self.service.send(consumer.endpoint, KIND_DATA, payload,
                                 size_bytes=wire_bytes)
@@ -366,10 +466,25 @@ class ExchangeProducer(UnaryOperator):
         # Replay moved tuples on their new channels and confirm delivery
         # (synchronous flush): the receiving consumers observe replayed
         # state before any discard can tear the old copy down.
-        for channel_moves in moves.values():
-            for row, target in channel_moves:
-                yield from self._enqueue(target, row)
-                self.tuples_moved += 1
+        if self.ctx.engine_config.batch_size == 1:
+            for channel_moves in moves.values():
+                for row, target in channel_moves:
+                    yield from self._enqueue(target, row)
+                    self.tuples_moved += 1
+        else:
+            replays: dict[int, list[Row]] = {}
+            for channel_moves in moves.values():
+                for row, target in channel_moves:
+                    replays.setdefault(target, []).append(row)
+                    self.tuples_moved += 1
+            logged = 0
+            sends: list[tuple[int, list, int]] = []
+            for target, replay_rows in replays.items():
+                target_logged, target_sends = self._place_batch(
+                    target, replay_rows)
+                logged += target_logged
+                sends.extend(target_sends)
+            yield from self._settle_batch(logged, sends)
         yield from self._flush_all()
 
     def _plan_moves(self) -> dict[int, list[tuple[Row, int]]]:
@@ -433,8 +548,10 @@ class ExchangeConsumer(Operator):
                 items: typing.Sequence) -> None:
         """Enqueue a deserialized buffer (called by the hosting GQES)."""
         self._producer_endpoints[producer_id] = sender_endpoint
-        for item in items:
-            self.queue.put((producer_id, item))
+        # One bulk enqueue per buffer: the unbounded queue never blocks
+        # puts, so this is the fire-and-forget per-item loop minus the
+        # per-item StorePut events.
+        self.queue.put_many((producer_id, item) for item in items)
 
     def inject_recheck(self) -> None:
         """Force the evaluator to re-evaluate channel completion."""
@@ -499,6 +616,47 @@ class ExchangeConsumer(Operator):
             row = yield from self._handle(producer_id, item)
             if row is not None:
                 return row
+
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        rows: list[Row] = []
+        while len(rows) < max_rows:
+            if self.aborted:
+                break
+            # Synchronous drain: already-queued items are taken without
+            # a StoreGet event each.
+            taken = self.queue.take(max_rows - len(rows))
+            if taken:
+                for position, (producer_id, item) in enumerate(taken):
+                    if not isinstance(item, Row) and rows:
+                        # A control item behind data must wait until the
+                        # rows have flowed through the subplan: e.g. a
+                        # checkpoint ack asserts their outputs are
+                        # durable downstream.  Defer it (and everything
+                        # after it) and ship the partial batch.
+                        self.queue.put_back(taken[position:])
+                        return Batch(rows)
+                    row = yield from self._handle(producer_id, item)
+                    if row is not None:
+                        rows.append(row)
+                continue
+            if rows:
+                # Don't block while holding rows: ship a partial batch.
+                break
+            if self.is_complete():
+                break
+            waited_from = self.env.now
+            producer_id, item = yield self.queue.get()
+            waited = self.env.now - waited_from
+            if waited > 0:
+                self.ctx.metrics.record_wait(waited)
+            row = yield from self._handle(producer_id, item)
+            if row is not None:
+                rows.append(row)
+        if rows:
+            return Batch(rows)
+        return END
 
     def try_next(self) -> typing.Generator:
         """Non-blocking variant: a Row, or None when the queue is idle."""

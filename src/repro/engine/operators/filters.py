@@ -28,6 +28,21 @@ class Select(UnaryOperator):
             if self.predicate(row):
                 return row
 
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        # The predicate is charged per input row; empty post-filter
+        # batches are retried so callers only ever see non-empty ones.
+        while True:
+            batch = yield from self.child.next_batch(max_rows)
+            if batch is END:
+                return END
+            yield from self.ctx.machine.work_batch(
+                "select", self.ctx.cost.select_work, len(batch))
+            kept = [row for row in batch if self.predicate(row)]
+            if kept:
+                return batch.replace_rows(kept)
+
 
 class Project(UnaryOperator):
     """Projects rows onto a list of column positions."""
@@ -44,3 +59,14 @@ class Project(UnaryOperator):
         yield from self.ctx.machine.work(
             "project", self.ctx.cost.project_work)
         return row.project(self.positions)
+
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        batch = yield from self.child.next_batch(max_rows)
+        if batch is END:
+            return END
+        yield from self.ctx.machine.work_batch(
+            "project", self.ctx.cost.project_work, len(batch))
+        return batch.replace_rows(
+            [row.project(self.positions) for row in batch])

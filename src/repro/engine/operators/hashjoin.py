@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.data.batch import Batch
 from repro.data.tuples import Row, Tid
 from repro.engine.operators.base import END, EvalContext, Operator
 
@@ -81,13 +82,17 @@ class HashJoin(Operator):
         yield from self.probe_child.open()
         # Blocking build phase: drain the build channel completely
         # before probing, so every probe sees the full (local) state.
+        # At batch_size 1 next_batch/work_batch degrade to exactly the
+        # per-tuple next/work calls.
+        max_rows = self.ctx.engine_config.batch_size
         while True:
-            row = yield from self.build_child.next()
-            if row is END:
+            batch = yield from self.build_child.next_batch(max_rows)
+            if batch is END:
                 break
-            yield from self.ctx.machine.work(
-                LABEL_BUILD, self.ctx.cost.join_build_work)
-            self.insert_build_row(row)
+            yield from self.ctx.machine.work_batch(
+                LABEL_BUILD, self.ctx.cost.join_build_work, len(batch))
+            for row in batch:
+                self.insert_build_row(row)
 
     def _drain_late_build(self) -> typing.Generator:
         """Absorb build tuples replayed after the build phase ended."""
@@ -114,6 +119,37 @@ class HashJoin(Operator):
             for build_row in self._table.get(key, []):
                 self._pending.append(
                     probe_row.extend(build_row.values, build_row.tid))
+
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        while True:
+            if self._pending:
+                # Ship held matches before pumping more input: the probe
+                # channel may acknowledge a checkpoint while being
+                # pumped, which asserts these outputs reached the next
+                # stage already.
+                take = min(max_rows, len(self._pending))
+                out = self._pending[:take]
+                del self._pending[:take]
+                return Batch(out)
+            yield from self._drain_late_build()
+            probe = yield from self.probe_child.next_batch(max_rows)
+            if probe is END:
+                return END
+            yield from self.ctx.machine.work_batch(
+                LABEL_PROBE, self.ctx.cost.join_probe_work, len(probe))
+            self.probe_count += len(probe)
+            # Re-drain before matching: fetching and working the probe
+            # batch takes simulated time, during which a retrospective
+            # move may have replayed build tuples these probes must see
+            # (they were enqueued before the probes were sent).
+            yield from self._drain_late_build()
+            for probe_row in probe:
+                key = probe_row.values[self.probe_key_position]
+                for build_row in self._table.get(key, []):
+                    self._pending.append(
+                        probe_row.extend(build_row.values, build_row.tid))
 
     def close(self) -> typing.Generator:
         yield from self.build_child.close()

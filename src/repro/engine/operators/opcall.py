@@ -37,3 +37,21 @@ class OperationCall(UnaryOperator):
         result = self.operation.invoke(row.values[self.arg_position])
         self.calls_made += 1
         return row.replace_values(row.values + (result,))
+
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        batch = yield from self.child.next_batch(max_rows)
+        if batch is END:
+            return END
+        yield from self.ctx.machine.work_batch(
+            "opcall", self.ctx.cost.opcall_overhead_work, len(batch))
+        yield from self.ctx.machine.work_batch(
+            self.operation.work_label, self.operation.base_work_ms,
+            len(batch))
+        out = []
+        for row in batch:
+            result = self.operation.invoke(row.values[self.arg_position])
+            self.calls_made += 1
+            out.append(row.replace_values(row.values + (result,)))
+        return batch.replace_rows(out)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.data.batch import Batch
 from repro.engine.operators.base import END, EvalContext, Operator
 from repro.services.gds import GridDataService
 
@@ -41,3 +42,16 @@ class TableScan(Operator):
                 + self.ctx.cost.scan_work_per_tuple)
         yield from self.ctx.machine.work(self.work_label, work)
         return rows[0]
+
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        rows = self.gds.read(self._cursor, max_rows)
+        if not rows:
+            return END
+        self._cursor += len(rows)
+        work = (self.gds.access_work_per_tuple
+                + self.ctx.cost.scan_work_per_tuple)
+        yield from self.ctx.machine.work_batch(
+            self.work_label, work, len(rows))
+        return Batch(rows)

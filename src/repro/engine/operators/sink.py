@@ -47,6 +47,24 @@ class ResultSink(UnaryOperator):
                 self.aggregator.add(row)
         return row
 
+    def next_batch(self, max_rows: int) -> typing.Generator:
+        if max_rows == 1:
+            return (yield from Operator.next_batch(self, max_rows))
+        batch = yield from self.child.next_batch(max_rows)
+        if batch is END:
+            return END
+        yield from self.ctx.machine.work_batch(
+            "sink", self.ctx.cost.sink_work, len(batch))
+        for row in batch:
+            if row.tid in self._seen:
+                self.duplicates_dropped += 1
+            else:
+                self._seen.add(row.tid)
+                self.results.append(row)
+                if self.aggregator is not None:
+                    self.aggregator.add(row)
+        return batch
+
     def final_rows(self) -> list[Row]:
         """The query's output rows (aggregated when grouping is on)."""
         if self.aggregator is not None:

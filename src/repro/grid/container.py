@@ -24,13 +24,14 @@ class GridContext:
 
     def __init__(self, seed: int = 0,
                  network_config: NetworkConfig | None = None,
-                 serialization: SerializationModel | None = None) -> None:
+                 serialization: SerializationModel | None = None,
+                 trace_max_events: int | None = None) -> None:
         self.env = Environment()
         self.random = RandomStreams(seed)
         self.network = Network(self.env, network_config)
         self.registry = ResourceRegistry()
         self.serialization = serialization or SerializationModel()
-        self.tracer = Tracer(self.env)
+        self.tracer = Tracer(self.env, max_events=trace_max_events)
         self._services: list = []
 
     def track_service(self, service) -> None:

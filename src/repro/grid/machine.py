@@ -62,5 +62,32 @@ class Machine:
             yield self.cpu.execute(effect.cpu_work, label=label)
         return self.env.now - started
 
+    def work_batch(self, label: str, work_per_item: float, count: int
+                   ) -> typing.Generator[Event, typing.Any, float]:
+        """Execute ``count`` items of labelled work as one CPU burst.
+
+        Perturbation effects are evaluated once per item (so stochastic
+        cost factors draw from the RNG exactly as often as ``count``
+        sequential :meth:`work` calls would, and sleep injections block
+        once per item), but the summed blocking delay and CPU work are
+        charged as a single timeout plus a single CPU task — one or two
+        simulator events per batch instead of per tuple.  ``count=1``
+        is exactly :meth:`work`.
+        """
+        if count <= 0:
+            return 0.0
+        started = self.env.now
+        total_cpu = 0.0
+        total_delay = 0.0
+        for _ in range(count):
+            effect = self.effect_of(label, work_per_item)
+            total_cpu += effect.cpu_work
+            total_delay += effect.blocking_delay
+        if total_delay > 0:
+            yield self.env.timeout(total_delay)
+        if total_cpu > 0:
+            yield self.cpu.execute(total_cpu, label=label)
+        return self.env.now - started
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Machine {self.name!r}>"

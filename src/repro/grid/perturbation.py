@@ -22,7 +22,7 @@ import random
 from repro.errors import ConfigurationError
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class WorkEffect:
     """Result of applying perturbations to a unit of work."""
 

@@ -50,3 +50,12 @@ class SerializationModel:
     def wire_size(self, payload_bytes: int) -> int:
         """On-the-wire size of a message with ``payload_bytes`` of data."""
         return self.envelope_bytes + int(payload_bytes * self.size_inflation)
+
+    def wire_size_batch(self, tuple_count: int, row_bytes: int) -> int:
+        """On-the-wire size of a batch envelope of uniform-width rows.
+
+        One envelope amortised over the whole batch — the batched
+        exchange path ships ``tuple_count`` rows in a single message,
+        so the size equals ``wire_size`` of the concatenated payload.
+        """
+        return self.wire_size(tuple_count * row_bytes)

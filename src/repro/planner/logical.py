@@ -16,7 +16,6 @@ from repro.data.schema import Schema, Column
 from repro.errors import PlanningError, SchemaError
 from repro.planner.ast import (
     ColumnRef,
-    Comparison,
     FunctionCall,
     Literal,
     SelectQuery,

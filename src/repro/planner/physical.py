@@ -11,7 +11,6 @@ by :mod:`repro.dqp.deployment`.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.data.schema import Schema
 from repro.planner.logical import LogicalPlan

@@ -41,6 +41,16 @@ class RecoveryLog:
         self._open.append(row)
         self.appended_total += 1
 
+    def append_batch(self, rows: typing.Sequence[Row]) -> None:
+        """Log a batch of tuples in order (one call per log segment).
+
+        Callers segment batches at checkpoint boundaries, so a batch
+        never spans a :meth:`seal`; per-tuple provenance is preserved
+        because the log stores the individual rows.
+        """
+        self._open.extend(rows)
+        self.appended_total += len(rows)
+
     def seal(self, checkpoint_id: int) -> None:
         """Close the open segment under ``checkpoint_id``."""
         if (self._last_sealed_id is not None

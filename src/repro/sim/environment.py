@@ -36,6 +36,8 @@ class Process(Event):
     events created after it was spawned within the same timestamp.
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str | None = None) -> None:
         super().__init__(env)
@@ -117,6 +119,15 @@ class Environment:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever queued — the kernel's work measure.
+
+        Batch-granular execution exists to shrink this number; the
+        perf benchmark reports it per run.
+        """
+        return self._seq
 
     # -- scheduling ----------------------------------------------------
 

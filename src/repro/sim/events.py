@@ -40,7 +40,14 @@ class Event:
 
     Processes wait on events by ``yield``-ing them; see
     :class:`repro.sim.environment.Process`.
+
+    Events are slotted: simulations allocate one per timeout, CPU task
+    and store operation, so the per-instance ``__dict__`` is worth
+    eliminating.  Subclasses must declare ``__slots__`` too (an empty
+    tuple when they add no attributes).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -109,6 +116,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` units of simulated time from now."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float,
                  value: typing.Any = None) -> None:
         if delay < 0:
@@ -127,6 +136,8 @@ class AllOf(Event):
     child fails, this event fails with that child's exception (first
     failure wins).
     """
+
+    __slots__ = ("_children", "_pending")
 
     def __init__(self, env: "Environment",
                  events: typing.Sequence[Event]) -> None:
@@ -156,6 +167,8 @@ class AnyOf(Event):
     The value is a ``(event, value)`` pair identifying the winner.  A
     failing child fails this event.
     """
+
+    __slots__ = ("_children",)
 
     def __init__(self, env: "Environment",
                  events: typing.Sequence[Event]) -> None:

@@ -27,6 +27,8 @@ class CpuTask(Event):
     self-monitoring operators, which report measured costs).
     """
 
+    __slots__ = ("work", "label", "queued_at", "started_at")
+
     def __init__(self, env: Environment, work: float, label: str) -> None:
         super().__init__(env)
         self.work = work

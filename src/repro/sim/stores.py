@@ -22,6 +22,8 @@ from repro.sim.events import Event
 class StorePut(Event):
     """Pending put request; succeeds once the item is buffered."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: typing.Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -29,6 +31,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending get request; succeeds with the dequeued item."""
+
+    __slots__ = ()
 
 
 class Store:
@@ -74,6 +78,51 @@ class Store:
         self._getters.append(request)
         self._settle()
         return request
+
+    def put_many(self, items: typing.Iterable[typing.Any]
+                 ) -> list[StorePut]:
+        """Buffer many items at once, without per-item put events.
+
+        Fire-and-forget equivalent of ``put`` for each item: when no
+        putter is blocked and capacity allows, the items are appended
+        directly (one ``_settle`` wakes any waiting getters).  When the
+        store could block, falls back to individual ``put`` calls so
+        bounded stores keep their back-pressure semantics; the blocked
+        requests are returned.
+        """
+        items = list(items)
+        if self._putters or len(self.items) + len(items) > self.capacity:
+            return [self.put(item) for item in items]
+        self.items.extend(items)
+        self._settle()
+        return []
+
+    def take(self, max_items: int) -> list[typing.Any]:
+        """Synchronously dequeue up to ``max_items`` buffered items.
+
+        The batch-path complement of ``get``: no StoreGet event per
+        item.  Returns nothing while a blocked getter exists (it has
+        priority on the next arrival) — callers then fall back to
+        ``get``.
+        """
+        if max_items < 1 or self._getters:
+            return []
+        taken: list[typing.Any] = []
+        while self.items and len(taken) < max_items:
+            taken.append(self.items.popleft())
+        if taken:
+            self._settle()
+        return taken
+
+    def put_back(self, items: typing.Sequence[typing.Any]) -> None:
+        """Re-buffer ``items`` at the head of the queue, in order.
+
+        Lets a batch consumer defer items it took but must not process
+        yet (e.g. a checkpoint marker behind unprocessed data rows).
+        """
+        for item in reversed(list(items)):
+            self.items.appendleft(item)
+        self._settle()
 
     def peek_all(self) -> list[typing.Any]:
         """Snapshot of buffered items (used by recovery/introspection)."""

@@ -7,7 +7,7 @@ from repro.dqp.gqes import GQES
 from repro.engine.control import DataBuffer, QueryComplete
 from repro.errors import ServiceError
 from repro.grid import GridContext
-from repro.net.message import KIND_CONTROL, KIND_DATA, Message
+from repro.net.message import KIND_CONTROL, KIND_DATA
 from repro.services.base import GridService
 from repro.workloads import DemoGrid, DemoGridSpec, Q1
 

@@ -5,8 +5,6 @@ exchange protocol with checkpointing and announcements, the adaptivity
 loop and teardown — at reduced data sizes for speed.
 """
 
-import collections
-
 import pytest
 
 from repro.config import AdaptivityConfig, RESPONSE_R1, RESPONSE_R2

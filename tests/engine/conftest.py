@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import AdaptivityConfig, CostModel, EngineConfig
+from repro.config import CostModel, EngineConfig
 from repro.data import Column, Relation, Schema
 from repro.engine.metrics import SubplanMetrics
 from repro.engine.operators.base import END, EvalContext

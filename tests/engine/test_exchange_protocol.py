@@ -5,8 +5,6 @@ consumers: buffering, checkpoint/acknowledgement flow, recovery-log
 pruning, end-of-stream announcements and retrospective discards.
 """
 
-import pytest
-
 from repro.config import AdaptivityConfig, RESPONSE_R1
 from repro.workloads import (
     DemoGrid,

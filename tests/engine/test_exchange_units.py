@@ -1,7 +1,5 @@
 """Direct unit tests for exchange producer/consumer internals."""
 
-import pytest
-
 from repro.config import CostModel, EngineConfig
 from repro.data.tuples import Row
 from repro.engine.control import (

@@ -1,0 +1,184 @@
+"""Property tests: morsel-driven execution is semantically invisible.
+
+Running with ``batch_size=32`` (the default) must produce exactly the
+rows that ``batch_size=1`` (the per-tuple seed pipeline) produces, and
+the same adaptation story: batching coarsens *event granularity*, not
+simulated costs or adaptivity decisions.
+
+Two levels of timeline equality are asserted:
+
+* Q1 (uniform per-tuple operator costs): the adaptation decisions
+  (response-level timeline) are identical for every policy and
+  latency; under clearly super-threshold perturbations (factor >= 10)
+  the full trace — every monitoring, assessment and response event —
+  is identical too.  (At marginal perturbations the one-morsel shift
+  in M1 arrival can move a single notification across a window edge.)
+* Q2 (join output arrives in bursts, so per-tuple costs are inherently
+  non-uniform): batch-averaged M1 costs smooth differently, which may
+  shift raw notification counts; the *effective decisions* — response
+  events that acted — still match.  (A final marginal proposal can
+  land just before or just after the finish line depending on
+  granularity, producing an explicit "skipped near completion" no-op
+  in one run only; those are excluded from comparison.)
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import AdaptivityConfig, EngineConfig, FaultToleranceConfig
+from repro.services.ws import shannon_entropy
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+    perturb_ws_cost_varying,
+)
+
+SPEC = DemoGridSpec(sequences_cardinality=150, interactions_cardinality=220,
+                    sequence_length=24, spare_machines=1)
+FT = FaultToleranceConfig(enabled=True, heartbeat_interval_ms=150.0,
+                          failure_timeout_ms=500.0)
+
+slow_settings = settings(max_examples=8, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+policies = st.builds(
+    AdaptivityConfig,
+    assessment=st.sampled_from(["A1", "A2"]),
+    response=st.sampled_from(["R1", "R2"]),
+    decision_latency_ms=st.sampled_from([50.0, 100.0, 300.0]),
+)
+
+
+
+def run_once(query_text, batch_size, adaptivity, perturb=None,
+             fail_at=None, fault_tolerance=None):
+    grid = DemoGrid(SPEC, engine_config=EngineConfig(batch_size=batch_size),
+                    fault_tolerance=fault_tolerance)
+    if perturb is not None:
+        perturb(grid)
+    if fail_at is not None:
+        grid.fail_machine_at("compute-2", at_ms=fail_at)
+    result = grid.run(query_text, adaptivity)
+    timeline = [(event.category, event.description)
+                for event in grid.context.tracer.events]
+    return grid, result, timeline
+
+
+def response_events(timeline):
+    """Response events that acted — the decisions with consequences.
+
+    "adaptation skipped near completion" is the responder explicitly
+    declining to act; whether a final marginal proposal arrives just
+    before or just after the finish line can differ by one morsel's
+    worth of simulated time without changing any behaviour, so the
+    no-op is excluded from decision-timeline comparison.
+    """
+    return [entry for entry in timeline
+            if entry[0] == "response"
+            and entry[1] != "adaptation skipped near completion"]
+
+
+def q1_reference(grid):
+    relation = grid.gds_map["protein_sequences"].relation
+    return sorted(shannon_entropy(s)
+                  for s in relation.column_values("sequence"))
+
+
+@given(config=policies, factor=st.sampled_from([5.0, 10.0, 25.0]))
+@slow_settings
+def test_q1_rows_and_timeline_identical(config, factor):
+    _, seed_result, seed_timeline = run_once(
+        Q1, 1, config, perturb=lambda g: perturb_ws_cost(g, factor))
+    _, batch_result, batch_timeline = run_once(
+        Q1, 32, config, perturb=lambda g: perturb_ws_cost(g, factor))
+    # Rows are computed identically, so equality is exact (no approx).
+    assert sorted(batch_result.values()) == sorted(seed_result.values())
+    assert response_events(batch_timeline) == response_events(seed_timeline)
+    if factor >= 10.0:
+        assert batch_timeline == seed_timeline
+
+
+@given(config=policies, sleep_ms=st.sampled_from([6.0, 12.0, 30.0]))
+@slow_settings
+def test_q2_rows_and_decision_timeline_identical(config, sleep_ms):
+    _, seed_result, seed_timeline = run_once(
+        Q2, 1, config, perturb=lambda g: perturb_join_sleep(g, sleep_ms))
+    _, batch_result, batch_timeline = run_once(
+        Q2, 32, config, perturb=lambda g: perturb_join_sleep(g, sleep_ms))
+    assert sorted(batch_result.values()) == sorted(seed_result.values())
+    assert response_events(batch_timeline) == response_events(seed_timeline)
+    # Monitoring fires in both runs (the detector is not starved by
+    # batched M1 submission).
+    assert any(c == "monitoring" for c, _d in seed_timeline)
+    assert any(c == "monitoring" for c, _d in batch_timeline)
+
+
+@given(low=st.floats(min_value=2.0, max_value=8.0),
+       spread=st.floats(min_value=1.0, max_value=25.0),
+       response=st.sampled_from(["R1", "R2"]))
+@slow_settings
+def test_q1_rows_identical_under_stochastic_perturbation(low, spread,
+                                                         response):
+    # Random per-tuple cost factors: adaptation decisions may diverge
+    # between granularities (measured windows differ), but exactly-once
+    # delivery must hold at both, so the result rows cannot.
+    config = AdaptivityConfig(response=response, decision_latency_ms=50.0)
+
+    def perturb(g):
+        perturb_ws_cost_varying(g, low, low + spread)
+    grid, seed_result, _tl = run_once(Q1, 1, config, perturb=perturb)
+    _, batch_result, _tl = run_once(Q1, 32, config, perturb=perturb)
+    expected = q1_reference(grid)
+    for result in (seed_result, batch_result):
+        got = sorted(v[0] for v in result.values())
+        assert len(got) == len(expected)
+        assert all(math.isclose(a, b) for a, b in zip(got, expected))
+
+
+@given(fail_at=st.floats(min_value=100.0, max_value=2500.0),
+       response=st.sampled_from(["R1", "R2"]))
+@slow_settings
+def test_mid_run_failure_recovers_identically(fail_at, response):
+    config = AdaptivityConfig(response=response, decision_latency_ms=100.0)
+
+    def perturb(g):
+        perturb_ws_cost(g, 6.0)
+    grid, seed_result, seed_timeline = run_once(
+        Q1, 1, config, perturb=perturb, fail_at=fail_at,
+        fault_tolerance=FT)
+    _, batch_result, batch_timeline = run_once(
+        Q1, 32, config, perturb=perturb, fail_at=fail_at,
+        fault_tolerance=FT)
+    expected = q1_reference(grid)
+    for result in (seed_result, batch_result):
+        got = sorted(v[0] for v in result.values())
+        assert len(got) == len(expected)
+        assert all(math.isclose(a, b) for a, b in zip(got, expected))
+    # Both granularities observe the failure; when it strikes while
+    # evaluators are clearly mid-run, both recover.  (A failure landing
+    # at the very end may need no recovery — and the exact completion
+    # instant can differ by one morsel between granularities.)
+    for timeline in (seed_timeline, batch_timeline):
+        descriptions = [d for c, d in timeline if c == "failure"]
+        assert "machine failed" in descriptions
+        if fail_at <= 800.0:
+            assert "evaluators recovered" in descriptions
+
+
+@given(fail_at=st.floats(min_value=200.0, max_value=3000.0))
+@slow_settings
+def test_q2_failure_exactly_once_at_default_batch_size(fail_at):
+    grid, _result, _tl = run_once(Q2, 32, AdaptivityConfig.disabled(),
+                                  fail_at=fail_at, fault_tolerance=FT)
+    sequences = grid.gds_map["protein_sequences"].relation
+    interactions = grid.gds_map["protein_interactions"].relation
+    orfs = set(sequences.column_values("ORF"))
+    expected = sorted(o2 for o1, o2 in (r.values for r in interactions)
+                      if o1 in orfs)
+    assert sorted(v[0] for v in _result.values()) == expected

@@ -3,7 +3,6 @@ checkpoint granularity."""
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ exactly the static no-failure results.
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import (
     ASSESSMENT_A1,
-    ASSESSMENT_A2,
     AdaptivityConfig,
     CostModel,
     EngineConfig,
