@@ -1,0 +1,170 @@
+"""Benchmark: multi-query scheduler throughput and latency.
+
+Drives the open-loop Poisson :class:`~repro.sched.WorkloadDriver`
+over the Q1/Q2 catalog against a small demo grid, sweeping offered
+load at concurrency limits 1/4/16, and reports per run:
+
+* wall-clock seconds (host time to simulate the whole workload),
+* admission outcomes (offered/admitted/rejected/completed),
+* simulated throughput in completions per second,
+* p50/p95 queue wait and p50/p95 response time (queue wait included).
+
+Results are written to ``BENCH_multiquery.json`` in the repository
+root.  The headline acceptance checks: the admission queue rejects
+submissions once ``max_queued`` is exceeded, and raising the
+concurrency limit from 1 strictly reduces p95 queue wait at the
+heaviest offered load (sessions start instead of waiting, even though
+they then contend for shared CPU).
+
+Run directly (``python benchmarks/bench_multiquery.py``) or via
+pytest (``pytest benchmarks/bench_multiquery.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.config import AdaptivityConfig, SchedulerConfig
+from repro.errors import AdmissionRejected
+from repro.sched import WorkloadDriver, WorkloadSpec
+from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
+
+CONCURRENCY_LIMITS = (1, 4, 16)
+ARRIVAL_RATES_QPS = (0.2, 0.5, 1.0)
+DURATION_MS = 20000.0
+MAX_QUEUED = 8
+
+#: Small relations keep the nine full workload runs fast.
+GRID_SPEC = DemoGridSpec(sequences_cardinality=120,
+                         interactions_cardinality=180,
+                         sequence_length=20,
+                         compute_machines=2)
+
+OUTPUT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_multiquery.json")
+
+
+def _build(max_concurrent: int, max_queued: int = MAX_QUEUED,
+           seed: int = 0):
+    """A fresh grid plus scheduler (each run needs a cold simulation)."""
+    grid = DemoGrid(DemoGridSpec(
+        sequences_cardinality=GRID_SPEC.sequences_cardinality,
+        interactions_cardinality=GRID_SPEC.interactions_cardinality,
+        sequence_length=GRID_SPEC.sequence_length,
+        compute_machines=GRID_SPEC.compute_machines,
+        seed=seed))
+    scheduler = grid.scheduler(SchedulerConfig(
+        max_concurrent=max_concurrent, max_queued=max_queued))
+    return grid, scheduler
+
+
+def measure(max_concurrent: int, arrival_rate_qps: float):
+    """One open-loop workload run; returns the measured row."""
+    _grid, scheduler = _build(max_concurrent)
+    driver = WorkloadDriver(scheduler, WorkloadSpec(
+        arrival_rate_qps=arrival_rate_qps,
+        duration_ms=DURATION_MS,
+        catalog=(Q1, Q2),
+        adaptivity=AdaptivityConfig(decision_latency_ms=300.0)))
+    started = time.perf_counter()
+    report = driver.run()
+    wall_clock_s = time.perf_counter() - started
+    return {
+        "max_concurrent": max_concurrent,
+        "arrival_rate_qps": arrival_rate_qps,
+        "wall_clock_s": round(wall_clock_s, 4),
+        "offered": report.offered,
+        "admitted": report.admitted,
+        "rejected": report.rejected,
+        "completed": report.completed,
+        "throughput_qps": round(report.throughput_qps, 4),
+        "queue_wait_p50_ms": round(report.queue_wait_p50_ms, 3),
+        "queue_wait_p95_ms": round(report.queue_wait_p95_ms, 3),
+        "response_p50_ms": round(report.response_p50_ms, 3),
+        "response_p95_ms": round(report.response_p95_ms, 3),
+    }
+
+
+def run_benchmark():
+    """Sweep every concurrency limit across every offered load."""
+    report = {
+        "concurrency_limits": list(CONCURRENCY_LIMITS),
+        "arrival_rates_qps": list(ARRIVAL_RATES_QPS),
+        "duration_ms": DURATION_MS,
+        "max_queued": MAX_QUEUED,
+        "runs": [measure(max_concurrent, rate)
+                 for max_concurrent in CONCURRENCY_LIMITS
+                 for rate in ARRIVAL_RATES_QPS],
+    }
+    return report
+
+
+def write_report(report):
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return OUTPUT_PATH
+
+
+def test_rejections_once_queue_full():
+    """The bounded admission queue rejects and nothing is lost."""
+    _grid, scheduler = _build(max_concurrent=1, max_queued=1)
+    scheduler.submit(Q1)   # running
+    scheduler.submit(Q2)   # queued (fills the queue)
+    with pytest.raises(AdmissionRejected) as excinfo:
+        scheduler.submit(Q1)
+    assert excinfo.value.running == 1
+    assert excinfo.value.queued == 1
+    results = scheduler.drain()
+    assert len(results) == 2
+    assert all(result.rows for result in results)
+    stats = scheduler.statistics()
+    assert stats.rejected == 1
+    assert stats.completed == 2
+
+
+def test_concurrency_shrinks_queue_wait():
+    report = run_benchmark()
+    write_report(report)
+
+    by_key = {(run["max_concurrent"], run["arrival_rate_qps"]): run
+              for run in report["runs"]}
+    heaviest = max(ARRIVAL_RATES_QPS)
+    serial = by_key[(1, heaviest)]
+    # Concurrency trades queue wait for shared-CPU contention: with
+    # more sessions admitted at once, nobody waits as long to start.
+    for limit in CONCURRENCY_LIMITS[1:]:
+        concurrent = by_key[(limit, heaviest)]
+        assert (concurrent["queue_wait_p95_ms"]
+                < serial["queue_wait_p95_ms"])
+    # Every admitted-and-not-rejected query completes; the open-loop
+    # driver never abandons sessions.
+    for run in report["runs"]:
+        assert run["completed"] == run["admitted"]
+        assert run["offered"] == run["admitted"] + run["rejected"]
+
+
+def main():
+    report = run_benchmark()
+    path = write_report(report)
+    print(f"wrote {path}")
+    header = (f"{'conc':>4} {'qps':>5} {'wall s':>7} {'offered':>7} "
+              f"{'rej':>4} {'tput/s':>7} {'wait p95 s':>10} "
+              f"{'resp p50 s':>10} {'resp p95 s':>10}")
+    print(header)
+    for run in report["runs"]:
+        print(f"{run['max_concurrent']:>4} "
+              f"{run['arrival_rate_qps']:>5.2f} "
+              f"{run['wall_clock_s']:>7.3f} "
+              f"{run['offered']:>7} "
+              f"{run['rejected']:>4} "
+              f"{run['throughput_qps']:>7.3f} "
+              f"{run['queue_wait_p95_ms'] / 1000.0:>10.2f} "
+              f"{run['response_p50_ms'] / 1000.0:>10.2f} "
+              f"{run['response_p95_ms'] / 1000.0:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,10 +25,18 @@ from repro.config import (
     FaultToleranceConfig,
     RESPONSE_R1,
     RESPONSE_R2,
+    SchedulerConfig,
 )
 from repro.data import Column, Relation, Row, Schema
 from repro.dqp import QueryProcessor, QueryResult, QueryStatistics
-from repro.errors import ReproError
+from repro.errors import AdmissionRejected, ReproError
+from repro.sched import (
+    QueryScheduler,
+    QuerySession,
+    WorkloadDriver,
+    WorkloadReport,
+    WorkloadSpec,
+)
 from repro.grid import (
     CostFactor,
     GridContext,
@@ -60,6 +68,7 @@ __all__ = [
     "ASSESSMENT_A1",
     "ASSESSMENT_A2",
     "AdaptivityConfig",
+    "AdmissionRejected",
     "Column",
     "CostFactor",
     "CostModel",
@@ -75,6 +84,8 @@ __all__ = [
     "Q2",
     "QueryProcessor",
     "QueryResult",
+    "QueryScheduler",
+    "QuerySession",
     "QueryStatistics",
     "RESPONSE_R1",
     "RESPONSE_R2",
@@ -82,10 +93,14 @@ __all__ = [
     "ReproError",
     "Row",
     "Schema",
+    "SchedulerConfig",
     "SleepInjection",
     "Tracer",
     "StochasticCostFactor",
     "WebServiceOperation",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
     "make_entropy_analyser",
     "perturb_join_sleep",
     "perturb_ws_cost",

@@ -7,6 +7,15 @@ Installed as ``repro-query``::
 
 Prints the result summary, the adaptation statistics, and optionally
 the traced adaptivity timeline.
+
+A multi-query mode drives the scheduler with an open-loop Poisson
+workload over the Q1/Q2 catalog instead of one query::
+
+    repro-query --workload 0.6 --max-concurrent 4 --seed 7
+
+Both modes are bit-for-bit reproducible from ``--seed``: the grid's
+data, perturbation noise and the workload driver's arrival sequence
+all derive from it.
 """
 
 from __future__ import annotations
@@ -14,11 +23,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import AdaptivityConfig, FaultToleranceConfig
+from repro.config import (
+    AdaptivityConfig,
+    FaultToleranceConfig,
+    SchedulerConfig,
+)
+from repro.sched import WorkloadDriver, WorkloadSpec
 from repro.telemetry import format_timeline
 from repro.workloads import (
     DemoGrid,
     DemoGridSpec,
+    Q1,
+    Q2,
     perturb_join_sleep,
     perturb_ws_cost,
 )
@@ -30,7 +46,23 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Run a query on the simulated Grid deployment of "
                      "'Adapting to Changing Resource Performance in Grid "
                      "Query Processing' (VLDB DMG 2005)."))
-    parser.add_argument("query", help="SQL text (demo query class)")
+    parser.add_argument("query", nargs="?", default=None,
+                        help="SQL text (demo query class); omit with "
+                             "--workload")
+    parser.add_argument("--workload", type=float, metavar="QPS",
+                        help="multi-query mode: drive Poisson arrivals "
+                             "at QPS queries/second over the Q1/Q2 "
+                             "catalog instead of one query")
+    parser.add_argument("--workload-duration", type=float, default=30000.0,
+                        metavar="MS",
+                        help="arrival window for --workload "
+                             "(default 30000 ms)")
+    parser.add_argument("--max-concurrent", type=int, default=4,
+                        help="scheduler: sessions running at once "
+                             "(default 4)")
+    parser.add_argument("--max-queued", type=int, default=16,
+                        help="scheduler: admission queue bound "
+                             "(default 16)")
     parser.add_argument("--static", action="store_true",
                         help="disable adaptivity (the static system)")
     parser.add_argument("--response", choices=["R1", "R2"], default="R2",
@@ -65,8 +97,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_workload(args: argparse.Namespace, grid: DemoGrid,
+                 adaptivity: AdaptivityConfig) -> int:
+    """Multi-query mode: open-loop Poisson arrivals into the scheduler."""
+    scheduler = grid.scheduler(SchedulerConfig(
+        max_concurrent=args.max_concurrent, max_queued=args.max_queued))
+    driver = WorkloadDriver(scheduler, WorkloadSpec(
+        arrival_rate_qps=args.workload,
+        duration_ms=args.workload_duration,
+        catalog=(Q1, Q2),
+        adaptivity=adaptivity))
+    report = driver.run()
+    print(f"offered: {report.offered} queries "
+          f"({args.workload:g}/s over "
+          f"{args.workload_duration / 1000.0:g} s, seed {args.seed})")
+    print(f"admitted: {report.admitted}  rejected: {report.rejected}  "
+          f"completed: {report.completed}")
+    print(f"throughput: {report.throughput_qps:.2f} queries/s "
+          f"(makespan {report.makespan_ms / 1000.0:.2f} s simulated)")
+    print(f"queue wait: p50 {report.queue_wait_p50_ms / 1000.0:.2f} s, "
+          f"p95 {report.queue_wait_p95_ms / 1000.0:.2f} s")
+    print(f"response:   p50 {report.response_p50_ms / 1000.0:.2f} s, "
+          f"p95 {report.response_p95_ms / 1000.0:.2f} s")
+    utilisation = ", ".join(
+        f"{name} {value:.0%}"
+        for name, value in sorted(report.machine_utilisation.items()))
+    print(f"utilisation: {utilisation}")
+    if args.timeline:
+        print()
+        print(format_timeline(grid.context.tracer.events,
+                              categories={"scheduler"}))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.query is None and args.workload is None:
+        build_parser().error("a query is required unless --workload is "
+                             "given")
     spec = DemoGridSpec(
         compute_machines=args.machines,
         sequences_cardinality=args.sequences,
@@ -89,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         adaptivity = AdaptivityConfig(response=args.response,
                                       assessment=args.assessment)
+    if args.workload is not None:
+        return run_workload(args, grid, adaptivity)
     result = grid.run(args.query, adaptivity, degree=args.degree)
 
     stats = result.stats

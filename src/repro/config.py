@@ -137,6 +137,56 @@ class FaultToleranceConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class SchedulerConfig:
+    """Multi-query scheduler parameters (admission and fair sharing).
+
+    The scheduler runs at most ``max_concurrent`` queries at once,
+    holds up to ``max_queued`` more in a FIFO admission queue, and
+    refuses further submissions with
+    :class:`~repro.errors.AdmissionRejected`.  When ``fair_share`` is
+    on, each running session charges ``session_weight`` shares against
+    every machine its subplans occupy; the share ledger steers new
+    sessions toward the least-loaded machines and reports capacity
+    pressure where committed shares exceed ``machine_capacity`` (see
+    :meth:`repro.grid.machine.Machine.contention_factor`).  The
+    contention itself comes from co-resident sessions queueing at
+    each machine's FIFO CPU, with or without the ledger.
+    """
+
+    #: Sessions allowed to execute simultaneously.
+    max_concurrent: int = 4
+    #: Bounded FIFO admission queue behind the running set.
+    max_queued: int = 16
+    #: Whether sessions charge capacity shares on their machines.
+    fair_share: bool = True
+    #: Shares one running session charges on each machine it uses.
+    session_weight: float = 1.0
+    #: Shares a machine absorbs before reporting capacity pressure.
+    machine_capacity: float = 1.0
+    #: Prefer the least-loaded compute machines when a session's
+    #: parallelism degree does not need the whole pool.
+    load_aware_placement: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 1: {self.max_concurrent}")
+        if self.max_queued < 0:
+            raise ConfigurationError(
+                f"max_queued must be >= 0: {self.max_queued}")
+        if self.session_weight <= 0:
+            raise ConfigurationError(
+                f"session_weight must be positive: {self.session_weight}")
+        if self.machine_capacity <= 0:
+            raise ConfigurationError(
+                f"machine_capacity must be positive: "
+                f"{self.machine_capacity}")
+
+    def replace(self, **changes) -> "SchedulerConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
 class EngineConfig:
     """Query-engine execution parameters."""
 

@@ -98,7 +98,16 @@ class QueryResult:
 
 
 class QueryHandle:
-    """A submitted query: exposes the completion event and result."""
+    """A submitted query: exposes the completion event and result.
+
+    The lifecycle timestamps separate queue wait from execution:
+    ``submitted_at`` is when the query entered the system (for
+    scheduler-managed queries, when it joined the admission queue),
+    ``started_at`` when deployment began, and ``completed_at`` when
+    the result was collected.  Response time as experienced by the
+    submitter is ``completed_at - submitted_at``; the execution-only
+    figure the paper reports is ``completed_at - started_at``.
+    """
 
     def __init__(self, query_id: str, done: Event) -> None:
         self.query_id = query_id
@@ -106,7 +115,21 @@ class QueryHandle:
         self.result: QueryResult | None = None
         self.runtime: QueryRuntime | None = None
         self.submitted_at: float = 0.0
+        self.started_at: float = 0.0
+        self.completed_at: float | None = None
         self.cpu_baseline: dict = {}
+
+    @property
+    def queue_wait_ms(self) -> float:
+        """Time spent admission-queued before deployment began."""
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_ms(self) -> float | None:
+        """Deployment-to-result time (queue wait excluded)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
 
 
 class GDQS(GridService):
@@ -136,11 +159,17 @@ class GDQS(GridService):
 
     def submit(self, query_text: str,
                adaptivity: AdaptivityConfig | None = None,
-               degree: int | None = None) -> QueryHandle:
+               degree: int | None = None,
+               machine_order: typing.Sequence[str] | None = None
+               ) -> QueryHandle:
         """Compile, deploy and start ``query_text``.
 
         Returns immediately with a :class:`QueryHandle`; drive the
         simulation (``env.run(until=handle.done)``) to completion.
+        ``machine_order`` is a compute-machine preference (most
+        preferred first) honoured by the optimizer when the plan's
+        parallelism degree does not need the whole pool — the
+        multi-query scheduler uses it for least-loaded placement.
         """
         adaptivity = adaptivity or AdaptivityConfig()
         self._query_counter += 1
@@ -159,7 +188,8 @@ class GDQS(GridService):
                                      cardinalities)
         plan = optimize(logical, self.context.registry,
                         coordinator_machine=self.machine.name,
-                        degree=degree, query_id=query_id)
+                        degree=degree, query_id=query_id,
+                        machine_order=machine_order)
         runtime = deploy_query(self.context, plan, self.gds_map,
                                self.operations, engine_config,
                                self.cost, adaptivity,
@@ -173,6 +203,7 @@ class GDQS(GridService):
             name: self.context.registry.machine(name).cpu.busy_time
             for name in plan.machines_used()}
         handle.submitted_at = self.env.now
+        handle.started_at = self.env.now
         self.env.process(self._orchestrate(handle, runtime),
                          name=f"gdqs:orchestrate:{query_id}")
         if self.fault_tolerance.enabled:
@@ -207,6 +238,7 @@ class GDQS(GridService):
         for gqes in runtime.all_gqes():
             self.send(gqes.name, KIND_CONTROL,
                       QueryComplete(handle.query_id))
+        handle.completed_at = self.env.now
         handle.result = self._collect(handle.query_id, runtime,
                                       response_time,
                                       handle.cpu_baseline)

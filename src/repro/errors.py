@@ -50,3 +50,27 @@ class AdaptationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
+
+
+class SchedulerError(ReproError):
+    """Misuse of the multi-query scheduler."""
+
+
+class AdmissionRejected(SchedulerError):
+    """The scheduler refused a query: concurrency and queue are full.
+
+    Carries enough context for callers (workload drivers, services) to
+    account the rejection: how many sessions were running and queued at
+    the instant of refusal.
+    """
+
+    def __init__(self, query_text: str, running: int, queued: int,
+                 max_concurrent: int, max_queued: int) -> None:
+        super().__init__(
+            f"admission rejected ({running}/{max_concurrent} running, "
+            f"{queued}/{max_queued} queued): {query_text!r}")
+        self.query_text = query_text
+        self.running = running
+        self.queued = queued
+        self.max_concurrent = max_concurrent
+        self.max_queued = max_queued

@@ -6,7 +6,7 @@ Run them all from the command line::
 
 or individually (``table1``, ``fig2a``, ``fig2b``, ``fig3a``,
 ``fig3b``, ``fig4``, ``fig5``, ``overheads``, ``monitoring``,
-``recovery``).
+``recovery``, ``multiquery``).
 """
 
 from repro.experiments import (
@@ -14,6 +14,7 @@ from repro.experiments import (
     fig3,
     fig4,
     fig5,
+    multiquery,
     overheads,
     recovery,
     table1,
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "fig3b": fig3.run_fig3b,
     "fig4": fig4.run,
     "fig5": fig5.run,
+    "multiquery": multiquery.run,
     "overheads": overheads.run_overheads,
     "recovery": recovery.run,
     "monitoring": overheads.run_monitoring_frequency,

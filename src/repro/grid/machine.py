@@ -5,6 +5,18 @@ A machine bundles a FIFO CPU, a relative speed factor, and a set of
 execute labelled work through :meth:`Machine.work`, which applies
 matching perturbations (cost inflation and/or thread-blocking sleeps)
 and charges the CPU.
+
+Machines also carry the capacity-share ledger of the multi-query
+scheduler (:mod:`repro.sched`): each admitted session charges shares
+on the machines its subplans occupy.  The shares do not alter CPU
+costs — contention between co-resident sessions emerges from the
+FIFO CPU server itself, whose queueing delays every resident morsel
+burst in proportion to competing demand (so each query's measured M1
+costs rise and its Diagnoser rebalances through the paper's
+unchanged adaptivity loop, while an admitted-but-idle neighbour
+slows nobody).  The ledger is the scheduler's residency record: it
+drives load-aware placement of new sessions and the capacity
+pressure reported by :meth:`Machine.contention_factor`.
 """
 
 from __future__ import annotations
@@ -23,12 +35,54 @@ class Machine:
 
     def __init__(self, env: Environment, name: str,
                  speed: float | SpeedFunction = 1.0,
-                 rng: random.Random | None = None) -> None:
+                 rng: random.Random | None = None,
+                 capacity: float = 1.0) -> None:
         self.env = env
         self.name = name
         self.cpu = Cpu(env, speed=speed)
         self.perturbations: list[Perturbation] = []
         self._rng = rng or random.Random(0)
+        #: Session-shares this machine serves without capacity
+        #: pressure; the denominator of :meth:`contention_factor`.
+        self.capacity = float(capacity)
+        self._shares: dict[str, float] = {}
+
+    # -- capacity shares (multi-query fair sharing) ---------------------
+
+    def acquire_share(self, owner: str, weight: float = 1.0) -> None:
+        """Charge ``weight`` capacity shares on behalf of ``owner``."""
+        if weight <= 0:
+            raise ValueError(f"share weight must be positive: {weight}")
+        self._shares[owner] = self._shares.get(owner, 0.0) + weight
+
+    def release_share(self, owner: str) -> None:
+        """Release every share held by ``owner`` (idempotent)."""
+        self._shares.pop(owner, None)
+
+    @property
+    def committed_shares(self) -> float:
+        """Total shares currently charged by resident sessions."""
+        return sum(self._shares.values())
+
+    def contention_factor(self) -> float:
+        """Capacity pressure from resident sessions (an observable).
+
+        1.0 while committed shares fit the capacity, and
+        ``shares / capacity`` beyond it — the slowdown a session
+        should *expect* here if every resident neighbour keeps the
+        FIFO CPU busy.  Reported through scheduler telemetry and used
+        for load-aware placement; it is deliberately **not** charged
+        to CPU bursts, because the shared FIFO server already makes
+        co-resident sessions queue behind each other (multiplying
+        work on top would double-count the interference and penalise
+        sessions for idle neighbours).
+        """
+        if not self._shares:
+            return 1.0
+        load = sum(self._shares.values())
+        if load <= self.capacity:
+            return 1.0
+        return load / self.capacity
 
     def add_perturbation(self, perturbation: Perturbation) -> None:
         """Attach a perturbation model to this machine."""

@@ -40,11 +40,22 @@ _query_ids = itertools.count(1)
 
 def _pick_compute_machines(registry: ResourceRegistry,
                            data_hosts: set[str], coordinator: str,
-                           degree: int | None) -> list[str]:
+                           degree: int | None,
+                           machine_order: typing.Sequence[str] | None = None
+                           ) -> list[str]:
     candidates = registry.compute_machines()
     preferred = [name for name in candidates
                  if name not in data_hosts and name != coordinator]
     chosen = preferred or candidates
+    if machine_order is not None:
+        # Stable preference reorder: listed machines first in the given
+        # order, unlisted ones after in registry order.  With no degree
+        # cap every machine still participates, so a preference that
+        # lists the pool in registry order is a no-op by construction.
+        rank = {name: position
+                for position, name in enumerate(machine_order)}
+        chosen = sorted(chosen,
+                        key=lambda name: rank.get(name, len(rank)))
     if degree is not None:
         if degree < 1:
             raise PlanningError(f"degree must be >= 1: {degree}")
@@ -83,12 +94,20 @@ def _scan_subplan(logical_scan: LogicalScan, registry: ResourceRegistry,
 
 def optimize(logical: LogicalPlan, registry: ResourceRegistry,
              coordinator_machine: str, degree: int | None = None,
-             query_id: str | None = None) -> PhysicalPlan:
-    """Turn a logical plan into a deployable physical plan."""
+             query_id: str | None = None,
+             machine_order: typing.Sequence[str] | None = None
+             ) -> PhysicalPlan:
+    """Turn a logical plan into a deployable physical plan.
+
+    ``machine_order`` expresses a caller preference over compute
+    machines (most preferred first); the multi-query scheduler passes
+    the least-loaded ordering so capped-degree sessions spread across
+    the pool instead of piling onto the registry's first machines.
+    """
     data_hosts = {registry.table(scan.table_name).machine_name
                   for scan in logical.scans}
     compute_machines = _pick_compute_machines(
-        registry, data_hosts, coordinator_machine, degree)
+        registry, data_hosts, coordinator_machine, degree, machine_order)
     weights = _initial_weights(registry, compute_machines)
     query_id = query_id or f"q{next(_query_ids)}"
 

@@ -1,0 +1,43 @@
+"""Multi-query scheduling: concurrent sessions on a shared grid.
+
+This subsystem layers three things on the single-query GDQS:
+
+* :class:`QueryScheduler` — bounded admission (``max_concurrent``
+  running, ``max_queued`` waiting, typed rejection beyond that) and
+  synchronous dispatch, so concurrency one is event-for-event the
+  pre-scheduler path;
+* :class:`FairShare` — capacity-share charging that makes concurrent
+  sessions' morsel CPU bursts contend on shared machines, feeding the
+  paper's unchanged monitor/assess/respond loop;
+* :class:`WorkloadDriver` — seeded open-loop Poisson arrivals over a
+  query catalog, with throughput/latency percentile reporting.
+"""
+
+from repro.sched.driver import (
+    WorkloadDriver,
+    WorkloadReport,
+    WorkloadSpec,
+    percentile,
+)
+from repro.sched.fairshare import FairShare
+from repro.sched.scheduler import QueryScheduler, SchedulerStatistics
+from repro.sched.session import (
+    QuerySession,
+    STATE_COMPLETED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+)
+
+__all__ = [
+    "FairShare",
+    "QueryScheduler",
+    "QuerySession",
+    "SchedulerStatistics",
+    "STATE_COMPLETED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "percentile",
+]

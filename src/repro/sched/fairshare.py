@@ -1,0 +1,74 @@
+"""Fair sharing of machine capacity between concurrent sessions.
+
+Each admitted session charges a configurable number of capacity
+shares on every machine its subplans occupy (compute machines, data
+hosts and the coordinator alike — a scan feed contends for the data
+host exactly as a WS call contends for a compute node).  The shares
+are the scheduler's residency ledger: they steer new sessions toward
+the least-loaded machines (:meth:`FairShare.least_loaded_order`) and
+surface capacity pressure through
+:meth:`repro.grid.machine.Machine.contention_factor`.
+
+The contention itself needs no extra mechanism: co-resident sessions
+share each machine's single FIFO CPU server, so their morsel bursts
+queue behind one another and every active tenant slows the others in
+proportion to its demand — while an admitted-but-idle session slows
+nobody.  The consequences are deliberately left to the paper's own
+machinery: a session sharing a busy machine sees its measured M1
+costs rise there (CPU queueing counts as processing time, not input
+wait), its MonitoringEventDetector notifies, and its Diagnoser
+rebalances the workload vector away from the contended machine —
+adaptivity under multi-tenancy falls out of the existing loop rather
+than being re-implemented in the scheduler.
+
+A single admitted session holds the only shares and the only CPU
+demand, so it is bit-for-bit the single-tenant system.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.grid.registry import ResourceRegistry
+from repro.sched.session import QuerySession
+
+
+class FairShare:
+    """Tracks sessions' capacity shares on the machines they occupy."""
+
+    def __init__(self, registry: ResourceRegistry,
+                 session_weight: float = 1.0,
+                 machine_capacity: float = 1.0) -> None:
+        self.registry = registry
+        self.session_weight = session_weight
+        self.machine_capacity = machine_capacity
+        for machine in registry.machines():
+            machine.capacity = machine_capacity
+
+    def admit(self, session: QuerySession) -> None:
+        """Charge the session's shares on every machine it occupies."""
+        for name in session.machines:
+            self.registry.machine(name).acquire_share(
+                session.session_id, self.session_weight)
+
+    def release(self, session: QuerySession) -> None:
+        """Return the session's shares (idempotent)."""
+        for name in session.machines:
+            self.registry.machine(name).release_share(session.session_id)
+
+    def load(self, machine_name: str) -> float:
+        """Shares currently committed on ``machine_name``."""
+        return self.registry.machine(machine_name).committed_shares
+
+    def least_loaded_order(self, candidates: typing.Sequence[str]
+                           ) -> list[str]:
+        """Candidates sorted by committed shares, stably.
+
+        With uniform load (including the empty grid) this is the input
+        order, so placement preferences are a no-op until sessions
+        actually pile up somewhere — a property the concurrency-one
+        equivalence tests rely on.
+        """
+        indexed = list(enumerate(candidates))
+        indexed.sort(key=lambda pair: (self.load(pair[1]), pair[0]))
+        return [name for _index, name in indexed]

@@ -1,0 +1,222 @@
+"""The multi-query scheduler: admission control over a shared grid.
+
+:class:`QueryScheduler` layers concurrent-session management on the
+GDQS.  It runs at most ``max_concurrent`` queries at once, parks up to
+``max_queued`` more in a FIFO admission queue, and refuses the rest
+with :class:`~repro.errors.AdmissionRejected`.  Queries admitted
+together genuinely contend for CPU: their morsel bursts queue at the
+shared per-machine FIFO servers, and each one's per-query adaptivity
+(detector -> diagnoser -> responder) rebalances around the load the
+others create.  Running sessions also charge capacity shares on the
+machines they occupy through the
+:class:`~repro.sched.fairshare.FairShare` policy, which steers new
+sessions toward the least-loaded machines and reports capacity
+pressure.
+
+Dispatch is fully synchronous: an admissible query is deployed within
+``submit`` itself, and the next queued query is deployed from the
+completion callback of the finishing one.  The scheduler therefore
+adds *zero* simulator events for a single query at concurrency one —
+that path is event-for-event the pre-scheduler ``GDQS.submit``.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.config import SchedulerConfig
+from repro.dqp.gdqs import GDQS, QueryResult
+from repro.errors import AdmissionRejected
+from repro.sched.fairshare import FairShare
+from repro.sched.session import (
+    QuerySession,
+    STATE_COMPLETED,
+    require_done,
+)
+from repro.sim.events import Event
+from repro.telemetry.trace import CATEGORY_SCHEDULER
+
+
+@dataclasses.dataclass
+class SchedulerStatistics:
+    """Aggregate view of a scheduler's lifetime so far."""
+
+    admitted: int
+    completed: int
+    rejected: int
+    peak_queue_depth: int
+    #: Per completed session, in completion order.
+    queue_waits_ms: list
+    execution_ms: list
+    response_ms: list
+    #: Busy fraction per machine over the scheduler's lifetime.
+    machine_utilisation: dict
+
+
+class QueryScheduler:
+    """Admission control and fair-share dispatch over one GDQS."""
+
+    def __init__(self, gdqs: GDQS,
+                 config: SchedulerConfig | None = None) -> None:
+        self.gdqs = gdqs
+        self.context = gdqs.context
+        self.env = self.context.env
+        self.config = config or SchedulerConfig()
+        self.name = f"sched:{gdqs.machine.name}"
+        self.fair_share: FairShare | None = None
+        if self.config.fair_share:
+            self.fair_share = FairShare(
+                self.context.registry,
+                session_weight=self.config.session_weight,
+                machine_capacity=self.config.machine_capacity)
+        self._queue: collections.deque[QuerySession] = collections.deque()
+        self._running: dict[str, QuerySession] = {}
+        #: Every admitted session, in submission order.
+        self.sessions: list[QuerySession] = []
+        self.rejected = 0
+        self.peak_queue_depth = 0
+        self._session_counter = 0
+        self._created_at = self.env.now
+        self._cpu_baseline = {
+            machine.name: machine.cpu.busy_time
+            for machine in self.context.registry.machines()}
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, query_text: str, adaptivity=None,
+               degree: int | None = None) -> QuerySession:
+        """Admit ``query_text``, starting it now or queueing it.
+
+        Raises :class:`AdmissionRejected` when both the running set
+        and the admission queue are full; the query never touches the
+        grid in that case.
+        """
+        if (len(self._running) >= self.config.max_concurrent
+                and len(self._queue) >= self.config.max_queued):
+            self.rejected += 1
+            self.context.tracer.record(
+                CATEGORY_SCHEDULER, self.name, "query rejected",
+                running=len(self._running), queued=len(self._queue),
+                rejected_total=self.rejected)
+            raise AdmissionRejected(
+                query_text, running=len(self._running),
+                queued=len(self._queue),
+                max_concurrent=self.config.max_concurrent,
+                max_queued=self.config.max_queued)
+        self._session_counter += 1
+        session = QuerySession(
+            f"s{self._session_counter}", query_text, adaptivity, degree,
+            submitted_at=self.env.now)
+        self.sessions.append(session)
+        if len(self._running) < self.config.max_concurrent:
+            self._start(session)
+        else:
+            # Queued sessions need a completion event of their own
+            # before the underlying handle exists.
+            session.done = self.env.event()
+            self._queue.append(session)
+            self.peak_queue_depth = max(self.peak_queue_depth,
+                                        len(self._queue))
+            self.context.tracer.record(
+                CATEGORY_SCHEDULER, self.name, "query queued",
+                session=session.session_id, depth=len(self._queue))
+        return session
+
+    def _machine_order(self) -> list[str] | None:
+        if self.fair_share is None or not self.config.load_aware_placement:
+            return None
+        return self.fair_share.least_loaded_order(
+            self.context.registry.compute_machines())
+
+    def _start(self, session: QuerySession) -> None:
+        handle = self.gdqs.submit(session.query_text,
+                                  adaptivity=session.adaptivity,
+                                  degree=session.degree,
+                                  machine_order=self._machine_order())
+        session.mark_started(handle, self.env.now)
+        self._running[session.session_id] = session
+        if self.fair_share is not None:
+            # Shares are charged in the same simulated instant as the
+            # deployment, so a second submission at the same time
+            # already sees this session's residency when placing.
+            self.fair_share.admit(session)
+        if session.done is None:
+            session.done = handle.done
+        handle.done.callbacks.append(
+            lambda event, s=session: self._on_complete(s, event))
+        self.context.tracer.record(
+            CATEGORY_SCHEDULER, self.name, "query started",
+            session=session.session_id, query_id=handle.query_id,
+            queue_wait_ms=round(session.queue_wait_ms, 1),
+            machines=session.machines)
+
+    def _on_complete(self, session: QuerySession, event: Event) -> None:
+        session.mark_completed(self.env.now)
+        if self.fair_share is not None:
+            self.fair_share.release(session)
+        del self._running[session.session_id]
+        self.context.tracer.record(
+            CATEGORY_SCHEDULER, self.name, "query completed",
+            session=session.session_id,
+            queue_wait_ms=round(session.queue_wait_ms, 1),
+            execution_ms=round(session.execution_ms, 1),
+            response_ms=round(session.response_ms, 1))
+        while (self._queue
+               and len(self._running) < self.config.max_concurrent):
+            self._start(self._queue.popleft())
+        if session.done is not event:
+            # A formerly-queued session: forward the handle's outcome
+            # to the placeholder event its submitter is waiting on.
+            if event.ok:
+                session.done.succeed(event.value)
+            else:
+                session.done.fail(event.value)
+
+    # -- draining and statistics -----------------------------------------
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> list[QueryResult]:
+        """Run the simulation until every admitted session completes.
+
+        Returns the results in submission order, then drains teardown
+        traffic so the grid is quiet.
+        """
+        while True:
+            pending = [session for session in self.sessions
+                       if session.state != STATE_COMPLETED]
+            if not pending:
+                break
+            self.env.run(until=require_done(pending[0]))
+        self.env.run()
+        return [session.result for session in self.sessions]
+
+    def statistics(self) -> SchedulerStatistics:
+        """Aggregate admission and utilisation telemetry."""
+        completed = [session for session in self.sessions
+                     if session.state == STATE_COMPLETED]
+        completed.sort(key=lambda session: session.completed_at)
+        elapsed = self.env.now - self._created_at
+        utilisation = {}
+        if elapsed > 0:
+            for machine in self.context.registry.machines():
+                busy = (machine.cpu.busy_time
+                        - self._cpu_baseline[machine.name])
+                utilisation[machine.name] = min(1.0, busy / elapsed)
+        return SchedulerStatistics(
+            admitted=len(self.sessions),
+            completed=len(completed),
+            rejected=self.rejected,
+            peak_queue_depth=self.peak_queue_depth,
+            queue_waits_ms=[session.queue_wait_ms
+                            for session in completed],
+            execution_ms=[session.execution_ms for session in completed],
+            response_ms=[session.response_ms for session in completed],
+            machine_utilisation=utilisation)

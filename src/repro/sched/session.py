@@ -1,0 +1,108 @@
+"""Per-query sessions managed by the multi-query scheduler.
+
+A :class:`QuerySession` is the scheduler-side identity of one
+submitted query: its position in the admission lifecycle
+(queued/running/completed), the lifecycle timestamps that separate
+queue wait from execution, and — once dispatched — the underlying
+:class:`~repro.dqp.gdqs.QueryHandle`.
+"""
+
+from __future__ import annotations
+
+from repro.config import AdaptivityConfig
+from repro.dqp.gdqs import QueryHandle, QueryResult
+from repro.errors import SchedulerError
+from repro.sim.events import Event
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_COMPLETED = "completed"
+
+
+class QuerySession:
+    """One query's journey through the scheduler.
+
+    Timestamps follow the :class:`~repro.dqp.gdqs.QueryHandle`
+    convention: ``submitted_at`` (entered the admission queue),
+    ``started_at`` (deployed onto the grid), ``completed_at`` (result
+    collected).  ``done`` is the completion event; for sessions that
+    start immediately it *is* the handle's own event, so admission at
+    concurrency one adds zero simulator events over a direct
+    ``GDQS.submit``.
+    """
+
+    def __init__(self, session_id: str, query_text: str,
+                 adaptivity: AdaptivityConfig | None,
+                 degree: int | None, submitted_at: float) -> None:
+        self.session_id = session_id
+        self.query_text = query_text
+        self.adaptivity = adaptivity
+        self.degree = degree
+        self.state = STATE_QUEUED
+        self.submitted_at = submitted_at
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        self.handle: QueryHandle | None = None
+        self.done: Event | None = None
+        #: Machines this session's subplans occupy (set at dispatch).
+        self.machines: tuple[str, ...] = ()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def mark_started(self, handle: QueryHandle, now: float) -> None:
+        if self.state != STATE_QUEUED:
+            raise SchedulerError(
+                f"{self.session_id}: started twice (state {self.state})")
+        self.state = STATE_RUNNING
+        self.started_at = now
+        self.handle = handle
+        self.machines = tuple(handle.runtime.plan.machines_used())
+        # Queue wait becomes visible on the handle too (satellite:
+        # wait vs execution are separate, never folded together).
+        handle.submitted_at = self.submitted_at
+
+    def mark_completed(self, now: float) -> None:
+        if self.state != STATE_RUNNING:
+            raise SchedulerError(
+                f"{self.session_id}: completed while {self.state}")
+        self.state = STATE_COMPLETED
+        self.completed_at = now
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def result(self) -> QueryResult | None:
+        return self.handle.result if self.handle is not None else None
+
+    @property
+    def queue_wait_ms(self) -> float | None:
+        """Admission-queue wait; None while still queued."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_ms(self) -> float | None:
+        """Deployment-to-result time; None until completed."""
+        if self.completed_at is None or self.started_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def response_ms(self) -> float | None:
+        """Submitter-experienced response: queue wait + execution."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<QuerySession {self.session_id} {self.state} "
+                f"{self.query_text[:30]!r}>")
+
+
+def require_done(session: QuerySession) -> Event:
+    """The session's completion event, insisting it exists already."""
+    if session.done is None:
+        raise SchedulerError(
+            f"{session.session_id} has no completion event yet")
+    return session.done

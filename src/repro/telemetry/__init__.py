@@ -6,6 +6,7 @@ from repro.telemetry.trace import (
     CATEGORY_MONITORING,
     CATEGORY_QUERY,
     CATEGORY_RESPONSE,
+    CATEGORY_SCHEDULER,
     TraceEvent,
     Tracer,
     format_timeline,
@@ -17,6 +18,7 @@ __all__ = [
     "CATEGORY_MONITORING",
     "CATEGORY_QUERY",
     "CATEGORY_RESPONSE",
+    "CATEGORY_SCHEDULER",
     "TraceEvent",
     "Tracer",
     "format_timeline",

@@ -20,6 +20,7 @@ CATEGORY_MONITORING = "monitoring"
 CATEGORY_ASSESSMENT = "assessment"
 CATEGORY_RESPONSE = "response"
 CATEGORY_FAILURE = "failure"
+CATEGORY_SCHEDULER = "scheduler"
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

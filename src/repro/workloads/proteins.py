@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.config import CostModel, EngineConfig, FaultToleranceConfig
+from repro.config import (
+    CostModel,
+    EngineConfig,
+    FaultToleranceConfig,
+    SchedulerConfig,
+)
 from repro.data.generator import (
     INTERACTIONS_CARDINALITY,
     SEQUENCES_CARDINALITY,
@@ -132,3 +137,9 @@ class DemoGrid:
         """Run a query to completion on this grid."""
         return self.processor.run(query_text, adaptivity=adaptivity,
                                   degree=degree)
+
+    def scheduler(self, config: SchedulerConfig | None = None):
+        """A multi-query scheduler over this grid's GDQS."""
+        from repro.sched import QueryScheduler
+
+        return QueryScheduler(self.processor.gdqs, config)

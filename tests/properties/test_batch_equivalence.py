@@ -23,6 +23,7 @@ Two levels of timeline equality are asserted:
 """
 
 import math
+import os
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -40,7 +41,8 @@ from repro.workloads import (
 )
 
 SPEC = DemoGridSpec(sequences_cardinality=150, interactions_cardinality=220,
-                    sequence_length=24, spare_machines=1)
+                    sequence_length=24, spare_machines=1,
+                    seed=int(os.environ.get("REPRO_TEST_SEED", "0")))
 FT = FaultToleranceConfig(enabled=True, heartbeat_interval_ms=150.0,
                           failure_timeout_ms=500.0)
 

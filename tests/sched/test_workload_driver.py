@@ -1,0 +1,109 @@
+"""Tests for the open-loop Poisson workload driver."""
+
+import pytest
+
+from repro.config import AdaptivityConfig, SchedulerConfig
+from repro.sched import WorkloadDriver, WorkloadSpec, percentile
+from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
+
+SPEC = DemoGridSpec(sequences_cardinality=120, interactions_cardinality=180,
+                    sequence_length=20)
+
+
+def make_driver(arrival_rate_qps=0.6, duration_ms=12000.0, seed=0,
+                max_concurrent=2, max_queued=4):
+    grid = DemoGrid(DemoGridSpec(
+        sequences_cardinality=SPEC.sequences_cardinality,
+        interactions_cardinality=SPEC.interactions_cardinality,
+        sequence_length=SPEC.sequence_length,
+        seed=seed))
+    scheduler = grid.scheduler(SchedulerConfig(
+        max_concurrent=max_concurrent, max_queued=max_queued))
+    return WorkloadDriver(scheduler, WorkloadSpec(
+        arrival_rate_qps=arrival_rate_qps,
+        duration_ms=duration_ms,
+        catalog=(Q1, Q2),
+        adaptivity=AdaptivityConfig.disabled()))
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 11)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) in (5.0, 6.0)
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 1.0) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestWorkloadSpec:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival_rate_qps=0.0, duration_ms=100.0,
+                         catalog=(Q1,))
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival_rate_qps=1.0, duration_ms=0.0,
+                         catalog=(Q1,))
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival_rate_qps=1.0, duration_ms=100.0,
+                         catalog=())
+
+
+class TestWorkloadDriver:
+    def test_report_invariants(self):
+        report = make_driver().run()
+        assert report.offered > 0
+        assert report.offered == report.admitted + report.rejected
+        assert report.completed == report.admitted
+        assert report.queue_wait_p50_ms <= report.queue_wait_p95_ms
+        assert report.response_p50_ms <= report.response_p95_ms
+        assert report.response_p50_ms >= report.queue_wait_p50_ms
+        assert report.makespan_ms > 0
+        assert report.throughput_qps == pytest.approx(
+            report.completed / (report.makespan_ms / 1000.0))
+
+    def test_same_seed_reproduces_the_run_exactly(self):
+        first = make_driver(seed=7).run()
+        second = make_driver(seed=7).run()
+        assert first == second
+
+    def test_different_seeds_draw_different_arrivals(self):
+        first = make_driver(seed=1).run()
+        second = make_driver(seed=2).run()
+        # Arrival sequences derive from the master seed; equality of
+        # every field across seeds would mean the stream is ignored.
+        assert (first.offered != second.offered
+                or first.response_p50_ms != second.response_p50_ms)
+
+    def test_overload_rejects_rather_than_buffering_unboundedly(self):
+        report = make_driver(arrival_rate_qps=4.0, duration_ms=10000.0,
+                             max_concurrent=1, max_queued=1).run()
+        assert report.rejected > 0
+        assert report.offered == report.admitted + report.rejected
+        # Admitted work still completes: rejection is the only loss.
+        assert report.completed == report.admitted
+
+    def test_all_sessions_complete_even_past_the_horizon(self):
+        driver = make_driver(arrival_rate_qps=1.5, duration_ms=6000.0,
+                             max_concurrent=2, max_queued=8)
+        report = driver.run()
+        # The horizon only bounds *arrivals*; admitted sessions run to
+        # completion however long that takes.
+        assert all(session.state == "completed"
+                   for session in driver.scheduler.sessions)
+        last_arrival = max(session.submitted_at
+                           for session in driver.scheduler.sessions)
+        assert report.makespan_ms >= last_arrival

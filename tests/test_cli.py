@@ -69,3 +69,52 @@ class TestCli:
     def test_parser_rejects_bad_response(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["q", "--response", "R9"])
+
+    def test_query_or_workload_required(self):
+        with pytest.raises(SystemExit):
+            main([*SMALL])
+
+
+class TestCliSeed:
+    def test_same_seed_reproduces_single_query_output(self, capsys):
+        argv = ["select EntropyAnalyser(p.sequence) "
+                "from protein_sequences p",
+                "--perturb-ws", "10", "--seed", "3", *SMALL]
+        _code, first = run_cli(capsys, *argv)
+        _code, second = run_cli(capsys, *argv)
+        assert first == second
+
+    def test_seed_changes_the_simulated_world(self, capsys):
+        argv = ["select EntropyAnalyser(p.sequence) "
+                "from protein_sequences p", "--static", *SMALL]
+        _code, first = run_cli(capsys, *argv, "--seed", "1")
+        _code, second = run_cli(capsys, *argv, "--seed", "2")
+        # Different seeds generate different protein data, so the
+        # entropy values cannot coincide.
+        assert first != second
+
+
+class TestCliWorkload:
+    WORKLOAD = ["--workload", "0.5", "--workload-duration", "10000",
+                "--max-concurrent", "2", *SMALL]
+
+    def test_workload_mode_reports_aggregates(self, capsys):
+        code, out = run_cli(capsys, *self.WORKLOAD, "--seed", "3")
+        assert code == 0
+        assert "offered:" in out
+        assert "throughput:" in out
+        assert "queue wait:" in out
+        assert "utilisation:" in out
+
+    def test_workload_seed_reproducibility(self, capsys):
+        _code, first = run_cli(capsys, *self.WORKLOAD, "--seed", "3")
+        _code, second = run_cli(capsys, *self.WORKLOAD, "--seed", "3")
+        assert first == second
+        _code, third = run_cli(capsys, *self.WORKLOAD, "--seed", "4")
+        assert first != third
+
+    def test_workload_timeline_lists_scheduler_events(self, capsys):
+        _code, out = run_cli(capsys, *self.WORKLOAD, "--seed", "3",
+                             "--timeline")
+        assert "query started" in out
+        assert "query completed" in out
