@@ -5,18 +5,37 @@ Each benchmark regenerates one of the paper's tables or figures via
 so repetition adds nothing but wall time), prints the paper-vs-measured
 rows, and asserts the *shape* the paper reports — who wins, by roughly
 what factor — rather than exact values.
+
+Every benchmarked experiment also writes its metrics file
+(``METRICS_<experiment_id>.jsonl`` at the repo root) through the
+harness sink, the same telemetry ``python -m repro.experiments``
+emits.
 """
+
+import pathlib
 
 import pytest
 
+from repro.experiments.harness import MetricsSink, set_metrics_sink
 from repro.experiments.report import render
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def run_report(benchmark, experiment):
     """Benchmark one experiment function; returns its report."""
-    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    sink = MetricsSink()
+    previous = set_metrics_sink(sink)
+    try:
+        report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    finally:
+        set_metrics_sink(previous)
     print()
     print(render(report))
+    if sink.records:
+        path = ROOT / f"METRICS_{report.experiment_id}.jsonl"
+        count = sink.write_jsonl(path)
+        print(f"[metrics: {count} records -> {path}]")
     return report
 
 

@@ -94,7 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the traced adaptivity timeline")
     parser.add_argument("--rows", type=int, default=5, metavar="N",
                         help="result rows to print (default 5)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the run's metrics snapshot (machine "
+                             "utilisation, adaptivity counters, per-query "
+                             "reports) as JSON Lines to PATH")
     return parser
+
+
+def write_metrics(args: argparse.Namespace, grid: DemoGrid) -> None:
+    if args.metrics_out:
+        count = grid.context.metrics.write_jsonl(args.metrics_out)
+        print(f"metrics: {count} records written to {args.metrics_out}")
 
 
 def run_workload(args: argparse.Namespace, grid: DemoGrid,
@@ -123,6 +133,7 @@ def run_workload(args: argparse.Namespace, grid: DemoGrid,
         f"{name} {value:.0%}"
         for name, value in sorted(report.machine_utilisation.items()))
     print(f"utilisation: {utilisation}")
+    write_metrics(args, grid)
     if args.timeline:
         print()
         print(format_timeline(grid.context.tracer.events,
@@ -176,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
     if stats.machines_recovered:
         print(f"failures recovered: {stats.machines_recovered} "
               f"({stats.tuples_replayed_for_recovery} tuples replayed)")
+    write_metrics(args, grid)
     if args.timeline:
         print()
         print(format_timeline(

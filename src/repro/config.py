@@ -40,6 +40,12 @@ class AdaptivityConfig:
     #: Relative change of the windowed average that triggers a
     #: detector -> diagnoser notification (thresM).
     thres_m: float = 0.20
+    #: Absolute change (ms/tuple) below which an average measured
+    #: against a zero baseline counts as unchanged.  A relative gate
+    #: is undefined at zero — e.g. a co-located channel whose send
+    #: cost is zero — so without this floor any nonzero wobble would
+    #: re-notify regardless of ``thres_m``.
+    thres_m_floor: float = 1e-6
     #: Relative per-element weight change that triggers a
     #: diagnoser -> responder proposal (thresA).
     thres_a: float = 0.20
@@ -79,6 +85,9 @@ class AdaptivityConfig:
                 f"{self.min_window_events}")
         if self.thres_m < 0 or self.thres_a < 0:
             raise ConfigurationError("thresholds must be non-negative")
+        if self.thres_m_floor < 0:
+            raise ConfigurationError(
+                f"thres_m_floor must be non-negative: {self.thres_m_floor}")
         if not 0 < self.progress_cutoff <= 1:
             raise ConfigurationError(
                 f"progress_cutoff must be in (0, 1]: {self.progress_cutoff}")

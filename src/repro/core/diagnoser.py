@@ -98,6 +98,16 @@ class Diagnoser(GridService, NotificationPublisher):
                     self._task_of_channel[channel] = task
         self.notifications_received = 0
         self.proposals_sent = 0
+        self.query_id = query_id
+        metrics = context.metrics
+        self._metric_notifications = metrics.counter(
+            "diagnoser_notifications_received", query=query_id)
+        self._metric_proposals = metrics.counter(
+            "diagnoser_proposals_sent", query=query_id)
+        #: Detector-timestamp to assessment latency of every cost
+        #: notification (the monitoring leg of the control loop).
+        self._metric_latency = metrics.histogram(
+            "detection_latency_ms", query=query_id)
 
     def current_weights(self, subplan_id: str) -> list[float]:
         return list(self._weights[subplan_id])
@@ -111,6 +121,8 @@ class Diagnoser(GridService, NotificationPublisher):
 
     def _on_cost(self, notification: CostNotification) -> None:
         self.notifications_received += 1
+        self._metric_notifications.inc()
+        self._metric_latency.observe(self.env.now - notification.timestamp)
         self.machine.cpu.execute(self.cost.control_event_work,
                                  label="diagnoser")
         task: BalancingTask | None = None
@@ -171,6 +183,7 @@ class Diagnoser(GridService, NotificationPublisher):
             timestamp=self.env.now)
         self.publish(TOPIC_IMBALANCE, proposal)
         self.proposals_sent += 1
+        self._metric_proposals.inc()
         self.context.tracer.record(
             "assessment", self.name, "imbalance proposal",
             subplan=task.subplan_id,

@@ -61,17 +61,26 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
         NotificationPublisher.__init__(self)
         self.config = config
         self.cost = cost
+        self.query_id = query_id
         self._windows: dict[str, collections.deque] = {}
         self._last_notified: dict[str, float] = {}
         self._meta: dict[str, dict] = {}
         self.raw_events_received = 0
         self.cost_notifications_sent = 0
+        metrics = context.metrics
+        self._metric_raw_m1 = metrics.counter(
+            "detector_raw_events", query=query_id, kind="m1")
+        self._metric_raw_m2 = metrics.counter(
+            "detector_raw_events", query=query_id, kind="m2")
+        self._metric_notifications = metrics.counter(
+            "detector_notifications_sent", query=query_id)
 
     # -- raw event intake (local calls from the engine) ---------------------
 
     def submit_m1(self, event: M1Event) -> None:
         """Ingest one M1 event from a local exchange producer."""
         self.raw_events_received += 1
+        self._metric_raw_m1.inc()
         self._charge_cpu()
         key = f"m1|{event.instance_id}"
         self._meta[key] = {
@@ -93,6 +102,7 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
         if count <= 0:
             return
         self.raw_events_received += count
+        self._metric_raw_m1.inc(count)
         self.machine.cpu.execute(self.cost.control_event_work * count,
                                  label="detector")
         key = f"m1|{event.instance_id}"
@@ -113,7 +123,13 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
                         send_cost_ms=send_cost_ms,
                         tuple_count=tuple_count,
                         timestamp=self.env.now)
+        if tuple_count <= 0:
+            # A degenerate buffer (no data rows) observes nothing, so
+            # it must not be counted, charged, or registered either —
+            # the raw-event counts feed the overheads experiment.
+            return event
         self.raw_events_received += 1
+        self._metric_raw_m2.inc()
         self._charge_cpu()
         key = f"m2|{producer_id}->{recipient_channel}"
         self._meta[key] = {
@@ -122,8 +138,7 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
             "recipient_channel": recipient_channel,
             "subplan_id": None,
         }
-        if tuple_count > 0:
-            self._observe(key, send_cost_ms / tuple_count)
+        self._observe(key, send_cost_ms / tuple_count)
         return event
 
     # -- windowing and thresholding ------------------------------------------
@@ -145,12 +160,16 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
             return
         average = trimmed_average(list(window))
         last = self._last_notified.get(key)
-        if last is not None and last > 0:
-            change = abs(average - last) / last
-            if change < self.config.thres_m:
+        if last is not None:
+            if last > 0:
+                if abs(average - last) / last < self.config.thres_m:
+                    return
+            # A relative gate is undefined against a zero baseline
+            # (e.g. a co-located channel whose send cost is zero):
+            # fall back to an absolute floor so tiny wobbles above
+            # zero do not re-notify on every buffer.
+            elif abs(average - last) <= self.config.thres_m_floor:
                 return
-        elif last is not None and average == last:
-            return
         self._last_notified[key] = average
         self._emit(key, average, len(window))
 
@@ -167,6 +186,7 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
             timestamp=self.env.now)
         self.publish(TOPIC_COST, notification)
         self.cost_notifications_sent += 1
+        self._metric_notifications.inc()
         self.context.tracer.record(
             "monitoring", self.name, "cost notification",
             key=key, average=round(average, 3))

@@ -75,6 +75,21 @@ class Responder(GridService, NotificationPublisher):
         self.skipped_near_completion = 0
         self.skipped_below_threshold = 0
         self.skipped_unreachable = 0
+        self.query_id = query_id
+        metrics = context.metrics
+        self._metric_proposals = metrics.counter(
+            "responder_proposals_received", query=query_id)
+        self._metric_adaptations = metrics.counter(
+            "responder_adaptations_accepted", query=query_id)
+        self._metric_skips = {
+            reason: metrics.counter("responder_skips", query=query_id,
+                                    reason=reason)
+            for reason in ("busy", "cooldown", "near_completion",
+                           "below_threshold", "unreachable")}
+        #: Proposal-timestamp to installed-weights latency of each
+        #: accepted adaptation (the response leg of the control loop).
+        self._metric_latency = metrics.histogram(
+            "adaptation_latency_ms", query=query_id)
         #: Deadline for control calls so a crashed peer cannot hang an
         #: adaptation forever.
         self.call_timeout_ms = 10_000.0
@@ -97,6 +112,7 @@ class Responder(GridService, NotificationPublisher):
         if topic != TOPIC_IMBALANCE:
             return
         self.proposals_received += 1
+        self._metric_proposals.inc()
         self.env.process(self._handle(payload),
                          name=f"{self.name}:proposal")
 
@@ -108,6 +124,7 @@ class Responder(GridService, NotificationPublisher):
             return
         if state.busy:
             self.skipped_busy += 1
+            self._metric_skips["busy"].inc()
             return
         state.busy = True
         try:
@@ -121,12 +138,14 @@ class Responder(GridService, NotificationPublisher):
         if (state.last_adaptation is not None
                 and now - state.last_adaptation < self.config.cooldown_ms):
             self.skipped_cooldown += 1
+            self._metric_skips["cooldown"].inc()
             return
         proposed = list(normalise_weights(proposal.proposed_weights))
         # The proposal was assessed against the Diagnoser's view of W;
         # re-check against our (possibly newer) state.
         if max_relative_change(state.weights, proposed) <= self.config.thres_a:
             self.skipped_below_threshold += 1
+            self._metric_skips["below_threshold"].inc()
             return
         # Progress estimation in line with [7]: combine how much input
         # the producers expect overall with how much the subplan's
@@ -153,11 +172,13 @@ class Responder(GridService, NotificationPublisher):
             # A peer is unreachable (likely crashed); abort this
             # adaptation and let failure recovery sort the world out.
             self.skipped_unreachable += 1
+            self._metric_skips["unreachable"].inc()
             return
         fraction = (processed_total / estimated_total
                     if estimated_total > 0 else 1.0)
         if fraction >= self.config.progress_cutoff:
             self.skipped_near_completion += 1
+            self._metric_skips["near_completion"].inc()
             self.context.tracer.record(
                 "response", self.name, "adaptation skipped near completion",
                 fraction=round(fraction, 3))
@@ -190,10 +211,13 @@ class Responder(GridService, NotificationPublisher):
                     "phase": "discard"}, timeout_ms=self.call_timeout_ms)
         except ServiceError:
             self.skipped_unreachable += 1
+            self._metric_skips["unreachable"].inc()
             return
         state.weights = proposed
         state.last_adaptation = now
         self.adaptations_accepted += 1
+        self._metric_adaptations.inc()
+        self._metric_latency.observe(self.env.now - proposal.timestamp)
         self.context.tracer.record(
             "response", self.name, "distribution rebalanced",
             subplan=state.task.subplan_id, epoch=state.epoch,

@@ -44,6 +44,7 @@ from repro.services.base import GridService
 from repro.services.gds import GridDataService
 from repro.services.ws import WebServiceOperation
 from repro.sim.events import Event
+from repro.telemetry.metrics import AdaptivityReport
 
 
 @dataclasses.dataclass
@@ -468,5 +469,20 @@ class GDQS(GridService):
             tuples_replayed_for_recovery=sum(
                 p.tuples_replayed_for_recovery for p in feed_xps),
             tuples_per_consumer=tuples_per_consumer)
+        registry = self.context.metrics
+        if registry.enabled:
+            latency = registry.find("histogram", "detection_latency_ms",
+                                    query=query_id)
+            registry.add_report(AdaptivityReport(
+                query_id=query_id,
+                response_time_ms=response_time,
+                adaptations_applied=stats.adaptations_accepted,
+                proposals_sent=stats.proposals_sent,
+                cost_notifications=stats.cost_notifications,
+                raw_monitoring_events=stats.raw_monitoring_events,
+                tuple_balance_ratio=stats.consumer_imbalance_ratio,
+                tuples_per_consumer=tuple(tuples_per_consumer),
+                detection_latency_ms=(latency.summary() if latency
+                                      else {"count": 0, "sum": 0.0})))
         return QueryResult(query_id, sink.final_rows(),
                            runtime.plan.output_schema, stats)

@@ -134,7 +134,14 @@ class WeightedRoundRobin(DistributionPolicy):
 
     def update_weights(self, weights: typing.Sequence[float]) -> None:
         self.weights = normalise_weights(weights)
-        self._credit = [0.0] * self.consumer_count
+        # Keep the accrued credits: zeroing them made every consumer
+        # tie on the first post-update route, so max() always picked
+        # the lowest index and frequent rebalances burst all tuples to
+        # consumer 0.  Smooth-WRR credits stay within (-1, 1) of their
+        # own accord; the clamp just bounds any carry-over from a very
+        # skewed previous vector.
+        self._credit = [min(1.0, max(-1.0, credit))
+                        for credit in self._credit]
 
 
 class HashBucketPolicy(DistributionPolicy):

@@ -110,6 +110,17 @@ class ExchangeProducer(UnaryOperator):
         self.tuples_moved = 0
         self.tuples_replayed_for_recovery = 0
         self.buffers_sent = 0
+        metrics = ctx.grid.metrics
+        self._metric_tuples_sent = metrics.counter(
+            "exchange_tuples_sent", producer=producer_id)
+        self._metric_bytes_sent = metrics.counter(
+            "exchange_bytes_sent", producer=producer_id)
+        self._metric_buffers_sent = metrics.counter(
+            "exchange_buffers_sent", producer=producer_id)
+        self._metric_adaptations = metrics.counter(
+            "exchange_adaptations_applied", producer=producer_id)
+        self._metric_occupancy = metrics.series(
+            "exchange_buffer_occupancy", producer=producer_id)
 
     # -- counters used by experiments -------------------------------------
 
@@ -302,6 +313,10 @@ class ExchangeProducer(UnaryOperator):
                                 size_bytes=wire_bytes)
         send_cost = self.env.now - started
         self.buffers_sent += 1
+        self._metric_buffers_sent.inc()
+        self._metric_tuples_sent.inc(row_count)
+        self._metric_bytes_sent.inc(wire_bytes)
+        self._metric_occupancy.sample(sum(self._buffer_rows))
         for item in items:
             if isinstance(item, Row):
                 self._on_wire[index].add(item.tid)
@@ -409,6 +424,7 @@ class ExchangeProducer(UnaryOperator):
         else:
             self.policy.update_weights(update.weights)
         self.adaptations_applied += 1
+        self._metric_adaptations.inc()
         self._pending_discards = []
         if update.retrospective and self.ctx.engine_config.logging_enabled:
             self.retrospective_moves += 1
@@ -541,6 +557,13 @@ class ExchangeConsumer(Operator):
         self.rows_received = 0
         self.rows_discarded = 0
         self.acks_sent = 0
+        metrics = ctx.grid.metrics
+        self._metric_rows_received = metrics.counter(
+            "exchange_rows_received", channel=channel_key)
+        self._metric_rows_discarded = metrics.counter(
+            "exchange_rows_discarded", channel=channel_key)
+        self._metric_queue_depth = metrics.series(
+            "exchange_queue_depth", channel=channel_key)
 
     # -- GQES-facing entry points ------------------------------------------
 
@@ -552,6 +575,7 @@ class ExchangeConsumer(Operator):
         # puts, so this is the fire-and-forget per-item loop minus the
         # per-item StorePut events.
         self.queue.put_many((producer_id, item) for item in items)
+        self._metric_queue_depth.sample(len(self.queue))
 
     def inject_recheck(self) -> None:
         """Force the evaluator to re-evaluate channel completion."""
@@ -563,6 +587,8 @@ class ExchangeConsumer(Operator):
             lambda entry: isinstance(entry[1], Row)
             and entry[1].tid in discard.tids)
         self.rows_discarded += len(removed)
+        self._metric_rows_discarded.inc(len(removed))
+        self._metric_queue_depth.sample(len(self.queue))
         return len(removed)
 
     def apply_announcement(self, announcement: ChannelAnnouncement) -> None:
@@ -680,6 +706,7 @@ class ExchangeConsumer(Operator):
             return None
         if isinstance(item, Row):
             self.rows_received += 1
+            self._metric_rows_received.inc()
             self.ctx.metrics.record_consumed()
             settled = self._settled.setdefault(producer_id, set())
             settled.add(item.tid)

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
 from repro.experiments import EXPERIMENTS, render
+from repro.experiments.harness import MetricsSink, set_metrics_sink
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -19,13 +21,29 @@ def main(argv: list[str] | None = None) -> int:
         "experiments", nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment ids to run ('all' runs every one)")
+    parser.add_argument(
+        "--metrics-dir", metavar="DIR", default=".",
+        help="directory receiving one METRICS_<id>.jsonl per "
+             "experiment (default: current directory)")
+    parser.add_argument(
+        "--no-metrics", action="store_true",
+        help="skip writing the per-experiment metrics files")
     args = parser.parse_args(argv)
     names = (sorted(EXPERIMENTS) if "all" in args.experiments
              else args.experiments)
     for name in names:
         started = time.time()
-        report = EXPERIMENTS[name]()
+        sink = None if args.no_metrics else MetricsSink()
+        previous = set_metrics_sink(sink)
+        try:
+            report = EXPERIMENTS[name]()
+        finally:
+            set_metrics_sink(previous)
         print(render(report))
+        if sink is not None and sink.records:
+            path = pathlib.Path(args.metrics_dir) / f"METRICS_{name}.jsonl"
+            count = sink.write_jsonl(path)
+            print(f"[metrics: {count} records -> {path}]")
         print(f"[{name} completed in {time.time() - started:.1f}s wall]")
         print()
     return 0

@@ -11,6 +11,7 @@ configurations), perturbation application and result caching.
 from __future__ import annotations
 
 import dataclasses
+import json
 import typing
 
 from repro.config import AdaptivityConfig, EngineConfig, RESPONSE_R1
@@ -48,7 +49,55 @@ def execute(query_key: str,
     grid = DemoGrid(spec=spec, engine_config=engine_config)
     if perturb is not None:
         perturb(grid)
-    return grid.run(QUERIES[query_key], adaptivity, degree=degree)
+    result = grid.run(QUERIES[query_key], adaptivity, degree=degree)
+    collect_metrics(grid, query=query_key, query_id=result.query_id,
+                    adaptive=adaptivity.enabled)
+    return result
+
+
+class MetricsSink:
+    """Accumulates per-grid metrics snapshots across an experiment.
+
+    Experiments build a fresh grid per run, so the registry alone
+    cannot aggregate a whole table's worth of telemetry.  Install a
+    sink with :func:`set_metrics_sink`; every run reported through
+    :func:`collect_metrics` (as :func:`execute` and the multiquery
+    driver do) appends the grid's instruments and per-query reports,
+    tagged with a run label, and the caller writes one JSONL file per
+    experiment.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def collect(self, grid: DemoGrid, run: dict) -> None:
+        for record in grid.context.metrics.snapshot():
+            record["run"] = dict(run)
+            self.records.append(record)
+
+    def write_jsonl(self, path) -> int:
+        """Write collected records as JSON Lines; returns the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record) + "\n")
+        return len(self.records)
+
+
+_metrics_sink: MetricsSink | None = None
+
+
+def set_metrics_sink(sink: MetricsSink | None) -> MetricsSink | None:
+    """Install the experiment-wide sink; returns the previous one."""
+    global _metrics_sink
+    previous = _metrics_sink
+    _metrics_sink = sink
+    return previous
+
+
+def collect_metrics(grid: DemoGrid, **run_label) -> None:
+    """Report one finished grid's metrics to the active sink, if any."""
+    if _metrics_sink is not None:
+        _metrics_sink.collect(grid, run_label)
 
 
 class BaselineCache:

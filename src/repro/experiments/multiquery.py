@@ -12,7 +12,7 @@ machines through the fair-share capacity model.
 from __future__ import annotations
 
 from repro.config import AdaptivityConfig, SchedulerConfig
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, collect_metrics
 from repro.sched import WorkloadDriver, WorkloadSpec
 from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
 
@@ -44,7 +44,10 @@ def drive(arrival_rate_qps: float, max_concurrent: int,
         duration_ms=DURATION_MS,
         catalog=(Q1, Q2),
         adaptivity=AdaptivityConfig(decision_latency_ms=300.0)))
-    return driver.run()
+    report = driver.run()
+    collect_metrics(grid, workload=True, rate_qps=arrival_rate_qps,
+                    max_concurrent=max_concurrent)
+    return report
 
 
 def run() -> ExperimentReport:

@@ -16,6 +16,7 @@ from repro.net.serialization import SerializationModel
 from repro.sim.environment import Environment
 from repro.sim.rand import RandomStreams
 from repro.sim.resources import SpeedFunction
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.trace import Tracer
 
 
@@ -25,13 +26,15 @@ class GridContext:
     def __init__(self, seed: int = 0,
                  network_config: NetworkConfig | None = None,
                  serialization: SerializationModel | None = None,
-                 trace_max_events: int | None = None) -> None:
+                 trace_max_events: int | None = None,
+                 metrics_enabled: bool = True) -> None:
         self.env = Environment()
         self.random = RandomStreams(seed)
         self.network = Network(self.env, network_config)
         self.registry = ResourceRegistry()
         self.serialization = serialization or SerializationModel()
         self.tracer = Tracer(self.env, max_events=trace_max_events)
+        self.metrics = MetricsRegistry(self.env, enabled=metrics_enabled)
         self._services: list = []
 
     def track_service(self, service) -> None:
@@ -57,7 +60,8 @@ class GridContext:
                     compute: bool = True, spare: bool = False) -> Machine:
         """Create and register a machine in one step."""
         machine = Machine(self.env, name, speed=speed,
-                          rng=self.random.stream(f"machine:{name}"))
+                          rng=self.random.stream(f"machine:{name}"),
+                          metrics=self.metrics)
         self.registry.add_machine(machine, compute=compute, spare=spare)
         return machine
 

@@ -36,7 +36,8 @@ class Machine:
     def __init__(self, env: Environment, name: str,
                  speed: float | SpeedFunction = 1.0,
                  rng: random.Random | None = None,
-                 capacity: float = 1.0) -> None:
+                 capacity: float = 1.0,
+                 metrics=None) -> None:
         self.env = env
         self.name = name
         self.cpu = Cpu(env, speed=speed)
@@ -46,6 +47,27 @@ class Machine:
         #: pressure; the denominator of :meth:`contention_factor`.
         self.capacity = float(capacity)
         self._shares: dict[str, float] = {}
+        if metrics is not None:
+            self._register_metrics(metrics)
+
+    def _register_metrics(self, metrics) -> None:
+        """Expose this machine's observables through the registry.
+
+        Callback gauges are read only at snapshot time and the queue
+        sampler is a pure in-memory append, so none of this perturbs
+        the simulation (the zero-cost metrics invariant).
+        """
+        metrics.gauge("machine_cpu_busy_ms",
+                      fn=lambda: self.cpu.busy_time, machine=self.name)
+        metrics.gauge("machine_cpu_utilisation",
+                      fn=self.cpu.utilisation, machine=self.name)
+        metrics.gauge("machine_cpu_tasks_completed",
+                      fn=lambda: self.cpu.tasks_completed,
+                      machine=self.name)
+        metrics.gauge("machine_contention_factor",
+                      fn=self.contention_factor, machine=self.name)
+        self.cpu.queue_sampler = metrics.series(
+            "machine_cpu_queue_depth", machine=self.name)
 
     # -- capacity shares (multi-query fair sharing) ---------------------
 

@@ -81,6 +81,16 @@ class QueryScheduler:
         self._cpu_baseline = {
             machine.name: machine.cpu.busy_time
             for machine in self.context.registry.machines()}
+        metrics = self.context.metrics
+        self._metric_admitted = metrics.counter("sched_admitted")
+        self._metric_rejected = metrics.counter("sched_rejected")
+        self._metric_completed = metrics.counter("sched_completed")
+        self._metric_queue_wait = metrics.histogram("sched_queue_wait_ms")
+        self._metric_queue_depth = metrics.series("sched_queue_depth")
+        for machine in self.context.registry.machines():
+            metrics.gauge("sched_capacity_pressure",
+                          fn=machine.contention_factor,
+                          machine=machine.name)
 
     # -- submission ------------------------------------------------------
 
@@ -95,6 +105,7 @@ class QueryScheduler:
         if (len(self._running) >= self.config.max_concurrent
                 and len(self._queue) >= self.config.max_queued):
             self.rejected += 1
+            self._metric_rejected.inc()
             self.context.tracer.record(
                 CATEGORY_SCHEDULER, self.name, "query rejected",
                 running=len(self._running), queued=len(self._queue),
@@ -109,6 +120,7 @@ class QueryScheduler:
             f"s{self._session_counter}", query_text, adaptivity, degree,
             submitted_at=self.env.now)
         self.sessions.append(session)
+        self._metric_admitted.inc()
         if len(self._running) < self.config.max_concurrent:
             self._start(session)
         else:
@@ -118,6 +130,7 @@ class QueryScheduler:
             self._queue.append(session)
             self.peak_queue_depth = max(self.peak_queue_depth,
                                         len(self._queue))
+            self._metric_queue_depth.sample(len(self._queue))
             self.context.tracer.record(
                 CATEGORY_SCHEDULER, self.name, "query queued",
                 session=session.session_id, depth=len(self._queue))
@@ -135,6 +148,7 @@ class QueryScheduler:
                                   degree=session.degree,
                                   machine_order=self._machine_order())
         session.mark_started(handle, self.env.now)
+        self._metric_queue_wait.observe(session.queue_wait_ms)
         self._running[session.session_id] = session
         if self.fair_share is not None:
             # Shares are charged in the same simulated instant as the
@@ -153,6 +167,7 @@ class QueryScheduler:
 
     def _on_complete(self, session: QuerySession, event: Event) -> None:
         session.mark_completed(self.env.now)
+        self._metric_completed.inc()
         if self.fair_share is not None:
             self.fair_share.release(session)
         del self._running[session.session_id]
@@ -162,9 +177,13 @@ class QueryScheduler:
             queue_wait_ms=round(session.queue_wait_ms, 1),
             execution_ms=round(session.execution_ms, 1),
             response_ms=round(session.response_ms, 1))
+        dispatched = False
         while (self._queue
                and len(self._running) < self.config.max_concurrent):
             self._start(self._queue.popleft())
+            dispatched = True
+        if dispatched:
+            self._metric_queue_depth.sample(len(self._queue))
         if session.done is not event:
             # A formerly-queued session: forward the handle's outcome
             # to the placeholder event its submitter is waiting on.

@@ -59,6 +59,11 @@ class Cpu:
         self._serving = False
         self.busy_time = 0.0
         self.tasks_completed = 0
+        #: Optional telemetry hook: an object with ``sample(value)``
+        #: called with the queue length at every enqueue and
+        #: completion.  Must be a pure recorder (no events, no CPU
+        #: charges) so attaching one cannot change the simulation.
+        self.queue_sampler = None
 
     def speed_at(self, time: float) -> float:
         """Effective speed factor at ``time``."""
@@ -78,6 +83,8 @@ class Cpu:
             raise SimulationError(f"negative cpu work: {work}")
         task = CpuTask(self.env, work, label)
         self._pending.append(task)
+        if self.queue_sampler is not None:
+            self.queue_sampler.sample(self.queue_length)
         if not self._serving:
             # Claim the server slot synchronously: the process itself only
             # starts on the next kernel step, and a second execute() call in
@@ -96,6 +103,8 @@ class Cpu:
                     yield self.env.timeout(duration)
                 self.busy_time += duration
                 self.tasks_completed += 1
+                if self.queue_sampler is not None:
+                    self.queue_sampler.sample(self.queue_length - 1)
                 task.succeed(duration)
         finally:
             self._serving = False

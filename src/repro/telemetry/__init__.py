@@ -1,5 +1,14 @@
-"""Observability: event tracing of the adaptivity pipeline."""
+"""Observability: event tracing and metrics of the adaptivity pipeline."""
 
+from repro.telemetry.metrics import (
+    AdaptivityReport,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SeriesSampler,
+    percentile,
+)
 from repro.telemetry.trace import (
     CATEGORY_ASSESSMENT,
     CATEGORY_FAILURE,
@@ -13,13 +22,20 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "AdaptivityReport",
     "CATEGORY_ASSESSMENT",
     "CATEGORY_FAILURE",
     "CATEGORY_MONITORING",
     "CATEGORY_QUERY",
     "CATEGORY_RESPONSE",
     "CATEGORY_SCHEDULER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SeriesSampler",
     "TraceEvent",
     "Tracer",
     "format_timeline",
+    "percentile",
 ]

@@ -70,15 +70,16 @@ class DemoGrid:
                  cost: CostModel | None = None,
                  network_config: NetworkConfig | None = None,
                  serialization: SerializationModel | None = None,
-                 fault_tolerance: FaultToleranceConfig | None = None
-                 ) -> None:
+                 fault_tolerance: FaultToleranceConfig | None = None,
+                 metrics_enabled: bool = True) -> None:
         self.spec = spec or DemoGridSpec()
         self.engine_config = engine_config or EngineConfig()
         self.cost = cost or CostModel()
         self.context = GridContext(
             seed=self.spec.seed,
             network_config=network_config,
-            serialization=serialization or SerializationModel())
+            serialization=serialization or SerializationModel(),
+            metrics_enabled=metrics_enabled)
         self.context.add_machine(COORDINATOR, compute=False)
         self.context.add_machine(DATA_HOST, compute=False)
         self.compute_machines = [

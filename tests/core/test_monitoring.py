@@ -154,3 +154,75 @@ class TestDetectorThresholds:
         context.env.run()
         assert detector.raw_events_received == 5
         assert detector.cost_notifications_sent == 1
+
+
+class TestZeroBaseline:
+    """A notified average of zero (e.g. a co-located channel with no
+    send cost) must not re-notify on every sub-epsilon wobble: the
+    relative thresM gate is undefined at zero, so an absolute floor
+    (``thres_m_floor``) takes over."""
+
+    def test_zero_average_notified_once(self):
+        context, detector, subscriber = make_detector()
+        for _ in range(5):
+            detector.submit_m2("p", "c", 0.0, 10)
+        context.env.run()
+        assert len(subscriber.received) == 1
+        assert subscriber.received[0][1].average_value == 0.0
+
+    def test_sub_floor_wobble_above_zero_stays_silent(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m2("p", "c", 0.0, 10)
+        # Per-tuple cost 1e-10: far below the 1e-6 floor, but != 0, so
+        # the pre-fix relative gate (undefined at zero) re-notified.
+        detector.submit_m2("p", "c", 1e-8, 100)
+        context.env.run()
+        assert len(subscriber.received) == 1
+
+    def test_change_above_floor_still_notifies(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m2("p", "c", 0.0, 10)
+        detector.submit_m2("p", "c", 1e-8, 100)
+        # A real cost appears; once the trimmed window mean clears the
+        # floor the detector must speak up again.
+        detector.submit_m2("p", "c", 100.0, 100)
+        detector.submit_m2("p", "c", 100.0, 100)
+        context.env.run()
+        assert len(subscriber.received) == 2
+        assert subscriber.received[-1][1].average_value > 1e-6
+
+    def test_floor_is_configurable(self):
+        config = AdaptivityConfig(thres_m_floor=10.0)
+        context, detector, subscriber = make_detector(config)
+        detector.submit_m2("p", "c", 0.0, 10)
+        detector.submit_m2("p", "c", 50.0, 10)  # mean 2.5, below floor
+        context.env.run()
+        assert len(subscriber.received) == 1
+
+
+class TestDegenerateM2:
+    """An empty buffer observes nothing: it must not be counted,
+    charged to the CPU, or allowed to register window metadata."""
+
+    def test_zero_tuples_not_counted_or_charged(self):
+        context, detector, subscriber = make_detector()
+        detector.submit_m2("p", "c", 10.0, 0)
+        context.env.run()
+        assert subscriber.received == []
+        assert detector.raw_events_received == 0
+        assert context.machine("m1").cpu.busy_time == 0.0
+        metric = context.metrics.find(
+            "counter", "detector_raw_events", query="q", kind="m2")
+        assert metric.value == 0
+
+    def test_negative_tuple_count_also_ignored(self):
+        context, detector, _subscriber = make_detector()
+        detector.submit_m2("p", "c", 10.0, -3)
+        context.env.run()
+        assert detector.raw_events_received == 0
+
+    def test_event_object_still_returned(self):
+        context, detector, _subscriber = make_detector()
+        event = detector.submit_m2("p", "c", 10.0, 0)
+        assert event.tuple_count == 0
+        assert event.producer_id == "p"

@@ -123,6 +123,53 @@ class TestWeightedRoundRobin:
             assert counter.get(consumer, 0) == pytest.approx(
                 weight * count, abs=len(weights))
 
+    def test_update_weights_preserves_credits(self):
+        # Re-installing the same weights before every route must not
+        # disturb the interleaving: zeroed credits made every consumer
+        # tie, so max() always picked consumer 0 and frequent
+        # rebalances sent the whole stream there.
+        policy = WeightedRoundRobin(2)
+        routes = []
+        for row in make_rows(40):
+            policy.update_weights([0.5, 0.5])
+            routes.append(policy.route(row))
+        assert routes.count(0) == 20
+        assert routes.count(1) == 20
+
+    def test_post_update_prefix_tracks_new_weights(self):
+        policy = WeightedRoundRobin(3)
+        for row in make_rows(30):
+            policy.route(row)
+        policy.update_weights([0.7, 0.2, 0.1])
+        routes = [policy.route(row) for row in make_rows(20)]
+        counter = collections.Counter(routes)
+        assert counter[0] == pytest.approx(14, abs=1)
+        assert counter[1] == pytest.approx(4, abs=1)
+        assert counter[2] == pytest.approx(2, abs=1)
+
+    @given(st.lists(st.floats(min_value=0.05, max_value=1.0),
+                    min_size=2, max_size=4),
+           st.lists(st.floats(min_value=0.05, max_value=1.0),
+                    min_size=2, max_size=4),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30)
+    def test_repeated_updates_never_burst_property(self, w1, w2, prefix):
+        length = min(len(w1), len(w2))
+        w1, w2 = w1[:length], w2[:length]
+        policy = WeightedRoundRobin(length, w1)
+        for row in make_rows(prefix):
+            policy.route(row)
+        policy.update_weights(w2)
+        count = 60
+        routes = [policy.route(row) for row in make_rows(count)]
+        counter = collections.Counter(routes)
+        expected = normalise_weights(w2)
+        # The realised post-update ratio tracks the new weights within
+        # the usual smooth-WRR slack plus the carried-over credit.
+        for consumer, weight in enumerate(expected):
+            assert counter.get(consumer, 0) == pytest.approx(
+                weight * count, abs=length + 2)
+
 
 class TestHashBucketPolicy:
     def test_same_key_same_consumer(self):
@@ -263,3 +310,54 @@ class TestRebalanceOutstanding:
         expected = normalise_weights(weights)
         for consumer in range(length):
             assert abs(final[consumer] - expected[consumer] * total) <= 1.5
+
+    @given(st.lists(st.one_of(st.none(),
+                              st.integers(min_value=0, max_value=40)),
+                    min_size=2, max_size=6),
+           st.lists(st.floats(min_value=0.05, max_value=1.0),
+                    min_size=2, max_size=6))
+    @settings(max_examples=50)
+    def test_consumers_missing_from_assignments_property(self, counts,
+                                                         weights):
+        # A consumer added by a previous adaptation may have no
+        # outstanding tuples yet and thus no key in ``assignments``;
+        # it must still receive its weight share.
+        length = min(len(counts), len(weights))
+        counts, weights = counts[:length], weights[:length]
+        assignments = {}
+        serial = 0
+        for consumer, count in enumerate(counts):
+            if count is None:
+                continue  # consumer entirely absent from the mapping
+            rows = []
+            for _ in range(count):
+                rows.append(Row((f"k{serial}",), f"t#{serial}"))
+                serial += 1
+            assignments[consumer] = rows
+        total = sum(len(rows) for rows in assignments.values())
+        moves = rebalance_outstanding(assignments, weights)
+        if total == 0:
+            assert moves == {}
+            return
+        expected = normalise_weights(weights)
+        quota = {c: expected[c] * total for c in range(length)}
+        final = {c: len(assignments.get(c, ())) for c in range(length)}
+        seen_tids = set()
+        for source, source_moves in moves.items():
+            source_tids = {row.tid for row in assignments[source]}
+            # A source only gives tuples away when it is over quota.
+            assert len(assignments[source]) > quota[source] - 1.0
+            for row, target in source_moves:
+                assert 0 <= target < length
+                assert target != source
+                assert row.tid in source_tids
+                assert row.tid not in seen_tids  # each row moves once
+                seen_tids.add(row.tid)
+                # Every move lands on a receiver that still had a
+                # deficit against its weight target.
+                assert final[target] < quota[target] + 1.0
+                final[source] -= 1
+                final[target] += 1
+        assert sum(final.values()) == total
+        for consumer in range(length):
+            assert abs(final[consumer] - quota[consumer]) <= 1.0 + 1e-9

@@ -1,0 +1,107 @@
+"""Property tests: metric recording is invisible to the simulation.
+
+The metrics layer promises that every instrument update is a plain
+attribute mutation — it may read the clock, but never schedules a DES
+event, charges CPU work, or draws randomness.  Two runs of the same
+query on the same spec, one with the registry enabled and one with it
+disabled, must therefore be bit-identical: same total event count,
+same full trace (timestamps, categories, sources, descriptions and
+payloads), same result rows.  Only the telemetry output may differ.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import AdaptivityConfig
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+)
+
+SPEC = DemoGridSpec(sequences_cardinality=150, interactions_cardinality=220,
+                    sequence_length=24,
+                    seed=int(os.environ.get("REPRO_TEST_SEED", "0")))
+
+slow_settings = settings(max_examples=8, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+policies = st.builds(
+    AdaptivityConfig,
+    assessment=st.sampled_from(["A1", "A2"]),
+    response=st.sampled_from(["R1", "R2"]),
+    decision_latency_ms=st.sampled_from([50.0, 300.0]),
+)
+
+
+def run_once(query_text, adaptivity, metrics_enabled, perturb=None):
+    grid = DemoGrid(SPEC, metrics_enabled=metrics_enabled)
+    if perturb is not None:
+        perturb(grid)
+    result = grid.run(query_text, adaptivity)
+    timeline = [(event.timestamp, event.category, event.source,
+                 event.description, event.data)
+                for event in grid.context.tracer.events]
+    return grid, result, timeline
+
+
+@given(config=policies, factor=st.sampled_from([5.0, 10.0, 25.0]))
+@slow_settings
+def test_q1_timeline_bit_identical_with_and_without_metrics(config, factor):
+    def perturb(g):
+        perturb_ws_cost(g, factor)
+    on_grid, on_result, on_timeline = run_once(Q1, config, True, perturb)
+    off_grid, off_result, off_timeline = run_once(Q1, config, False, perturb)
+    assert (on_grid.context.env.events_scheduled
+            == off_grid.context.env.events_scheduled)
+    assert on_timeline == off_timeline
+    assert sorted(on_result.values()) == sorted(off_result.values())
+    # The enabled run did measure: utilisation gauges exist for every
+    # machine, and the detector counted raw monitoring events.
+    metrics = on_grid.context.metrics
+    for name in on_grid.compute_machines:
+        gauge = metrics.find("gauge", "machine_cpu_utilisation",
+                             machine=name)
+        assert gauge is not None
+        assert 0.0 < gauge.value <= 1.0
+    raw = metrics.find("counter", "detector_raw_events",
+                       query=on_result.query_id, kind="m1")
+    assert raw is not None and raw.value > 0
+    # The disabled run recorded nothing at all.
+    assert off_grid.context.metrics.snapshot() == []
+
+
+@given(config=policies, sleep_ms=st.sampled_from([6.0, 30.0]))
+@slow_settings
+def test_q2_timeline_bit_identical_with_and_without_metrics(config,
+                                                            sleep_ms):
+    def perturb(g):
+        perturb_join_sleep(g, sleep_ms)
+    on_grid, on_result, on_timeline = run_once(Q2, config, True, perturb)
+    off_grid, off_result, off_timeline = run_once(Q2, config, False, perturb)
+    assert (on_grid.context.env.events_scheduled
+            == off_grid.context.env.events_scheduled)
+    assert on_timeline == off_timeline
+    assert sorted(on_result.values()) == sorted(off_result.values())
+
+
+@given(response=st.sampled_from(["R1", "R2"]))
+@slow_settings
+def test_adaptive_run_produces_a_report(response):
+    config = AdaptivityConfig(response=response)
+    grid, result, _timeline = run_once(
+        Q1, config, True, perturb=lambda g: perturb_ws_cost(g, 10.0))
+    reports = grid.context.metrics.reports
+    assert len(reports) == 1
+    report = reports[0]
+    assert report.query_id == result.query_id
+    assert report.response_time_ms == result.response_time_ms
+    assert report.raw_monitoring_events > 0
+    assert report.cost_notifications > 0
+    assert sum(report.tuples_per_consumer) == len(result.rows)
+    assert report.detection_latency_ms["count"] >= report.proposals_sent

@@ -1,5 +1,7 @@
 """Tests for the repro-query command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -118,3 +120,48 @@ class TestCliWorkload:
                              "--timeline")
         assert "query started" in out
         assert "query completed" in out
+
+
+class TestCliMetrics:
+    def read_jsonl(self, path):
+        return [json.loads(line)
+                for line in path.read_text().splitlines()]
+
+    def test_metrics_out_single_query(self, capsys, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        code, out = run_cli(
+            capsys,
+            "select EntropyAnalyser(p.sequence) from protein_sequences p",
+            "--perturb-ws", "10", "--metrics-out", str(path), *SMALL)
+        assert code == 0
+        assert f"records written to {path}" in out
+        records = self.read_jsonl(path)
+        assert records, "metrics file is empty"
+        names = {r.get("name") for r in records}
+        assert "machine_cpu_utilisation" in names
+        assert "detector_raw_events" in names
+        reports = [r for r in records
+                   if r["type"] == "adaptivity_report"]
+        assert len(reports) == 1
+        assert reports[0]["raw_monitoring_events"] > 0
+        assert "count" in reports[0]["detection_latency_ms"]
+
+    def test_metrics_out_workload_mode(self, capsys, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        code, out = run_cli(
+            capsys, "--workload", "0.5", "--workload-duration", "10000",
+            "--seed", "3", "--metrics-out", str(path), *SMALL)
+        assert code == 0
+        records = self.read_jsonl(path)
+        names = {r.get("name") for r in records}
+        assert "sched_admitted" in names
+        assert "sched_queue_wait_ms" in names
+        assert any(r["type"] == "adaptivity_report" for r in records)
+
+    def test_no_metrics_flag_writes_nothing(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "select p.ORF from protein_sequences p",
+            "--static", *SMALL)
+        assert code == 0
+        assert "metrics:" not in out
+        assert list(tmp_path.iterdir()) == []

@@ -45,6 +45,7 @@ class TestAdaptivityConfig:
         {"min_window_events": 0},
         {"min_window_events": 99},
         {"thres_m": -0.1},
+        {"thres_m_floor": -1e-9},
         {"thres_a": -0.1},
         {"progress_cutoff": 0.0},
         {"progress_cutoff": 1.5},
