@@ -1,0 +1,191 @@
+"""Benchmark: query resilience under injected transient faults.
+
+Sweeps the chaos fault rate (message drop + duplicate + delay on
+every link, plus flaky Web Service calls for Q1) over Q1 and Q2 on a
+small demo grid, and measures per run:
+
+* wall-clock seconds (host time to simulate the run),
+* simulated response time and its ratio to the fault-free run,
+* injected fault counts (drops/duplicates/delays/WS failures) and the
+  defensive retry counts (send/call/WS),
+* the returned row count — which must be complete at every rate.
+
+A final scenario freezes one compute clone mid-run long enough to be
+quarantined (suspect, weights driven to zero) and reintegrated when
+its heartbeats resume, reporting the quarantine counters.
+
+Results are written to ``BENCH_chaos.json`` in the repository root.
+
+Run directly (``python benchmarks/bench_chaos.py``) or via pytest
+(``pytest benchmarks/bench_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.chaos import ChaosConfig, FaultSchedule, MachineFreeze
+from repro.config import AdaptivityConfig, FaultToleranceConfig
+from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
+
+FAULT_RATES = (0.0, 0.01, 0.03, 0.1)
+DELAY_MS = 30.0
+
+#: Small relations keep the full sweep fast.
+GRID_SPEC = DemoGridSpec(sequences_cardinality=240,
+                         interactions_cardinality=360,
+                         sequence_length=20,
+                         compute_machines=2)
+
+FREEZE_FT = FaultToleranceConfig(enabled=True,
+                                 heartbeat_interval_ms=200.0,
+                                 suspect_timeout_ms=500.0,
+                                 failure_timeout_ms=5000.0)
+FREEZE = MachineFreeze("compute-2", at_ms=500.0, duration_ms=1200.0)
+
+OUTPUT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_chaos.json")
+
+
+def _chaos_for(rate: float, query: str) -> ChaosConfig | None:
+    if rate <= 0:
+        return None
+    return ChaosConfig.lossy(
+        drop_probability=rate,
+        duplicate_probability=rate,
+        delay_probability=rate,
+        delay_ms=DELAY_MS,
+        ws_failure_probability=(min(1.0, rate * 2.0)
+                                if query == Q1 else 0.0))
+
+
+def measure(query: str, label: str, rate: float):
+    """One chaotic run; returns the measured row."""
+    grid = DemoGrid(GRID_SPEC, chaos=_chaos_for(rate, query))
+    started = time.perf_counter()
+    result = grid.run(query, AdaptivityConfig())
+    wall_clock_s = time.perf_counter() - started
+    counters = grid.chaos.counters() if grid.chaos is not None else {}
+    return {
+        "query": label,
+        "fault_rate": rate,
+        "wall_clock_s": round(wall_clock_s, 4),
+        "response_time_ms": round(result.response_time_ms, 3),
+        "rows": result.stats.result_count,
+        "messages_dropped": counters.get("messages_dropped", 0),
+        "messages_duplicated": counters.get("messages_duplicated", 0),
+        "messages_delayed": counters.get("messages_delayed", 0),
+        "ws_failures_injected": counters.get("ws_failures_injected", 0),
+        "send_retries": counters.get("send_retries", 0),
+        "call_retries": counters.get("call_retries", 0),
+        "ws_retries": counters.get("ws_retries", 0),
+    }
+
+
+def measure_freeze():
+    """The quarantine scenario: one clone stalls, recovers, rejoins."""
+    chaos = ChaosConfig(enabled=True,
+                        schedule=FaultSchedule(freezes=(FREEZE,)))
+    grid = DemoGrid(GRID_SPEC, fault_tolerance=FREEZE_FT, chaos=chaos)
+    started = time.perf_counter()
+    result = grid.run(Q1, AdaptivityConfig())
+    wall_clock_s = time.perf_counter() - started
+    return {
+        "scenario": "freeze",
+        "frozen_machine": FREEZE.machine,
+        "freeze_at_ms": FREEZE.at_ms,
+        "freeze_duration_ms": FREEZE.duration_ms,
+        "wall_clock_s": round(wall_clock_s, 4),
+        "response_time_ms": round(result.response_time_ms, 3),
+        "rows": result.stats.result_count,
+        "clones_quarantined": result.stats.clones_quarantined,
+        "clones_reintegrated": result.stats.clones_reintegrated,
+        "machines_recovered": result.stats.machines_recovered,
+    }
+
+
+def run_benchmark():
+    """Fault-rate sweep plus the freeze scenario."""
+    runs = [measure(query, label, rate)
+            for query, label in ((Q1, "Q1"), (Q2, "Q2"))
+            for rate in FAULT_RATES]
+    baselines = {run["query"]: run["response_time_ms"]
+                 for run in runs if run["fault_rate"] == 0.0}
+    for run in runs:
+        run["slowdown"] = round(
+            run["response_time_ms"] / baselines[run["query"]], 4)
+    return {
+        "fault_rates": list(FAULT_RATES),
+        "delay_ms": DELAY_MS,
+        "runs": runs,
+        "freeze": measure_freeze(),
+    }
+
+
+def write_report(report):
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return OUTPUT_PATH
+
+
+def test_chaos_turns_faults_into_latency_not_loss():
+    report = run_benchmark()
+    write_report(report)
+
+    expected_rows = {"Q1": GRID_SPEC.sequences_cardinality,
+                     "Q2": GRID_SPEC.interactions_cardinality}
+    for run in report["runs"]:
+        # Complete results at every fault rate: no silent data loss.
+        assert run["rows"] == expected_rows[run["query"]], run
+        if run["fault_rate"] >= 0.03:
+            injected = (run["messages_dropped"]
+                        + run["messages_duplicated"]
+                        + run["messages_delayed"]
+                        + run["ws_failures_injected"])
+            assert injected > 0, run
+    # Dropped data buffers are re-sent, never abandoned.
+    for run in report["runs"]:
+        if run["messages_dropped"] > 0:
+            assert (run["send_retries"] + run["call_retries"]
+                    + run["ws_retries"]) > 0, run
+
+    freeze = report["freeze"]
+    assert freeze["rows"] == expected_rows["Q1"]
+    assert freeze["clones_quarantined"] >= 1
+    assert freeze["clones_reintegrated"] >= 1
+    # Transient stall, not a death: nothing was rebuilt.
+    assert freeze["machines_recovered"] == 0
+
+
+def main():
+    report = run_benchmark()
+    path = write_report(report)
+    print(f"wrote {path}")
+    header = (f"{'query':>5} {'rate':>5} {'wall s':>7} {'resp s':>7} "
+              f"{'slow':>5} {'drop':>5} {'dup':>4} {'wsfail':>6} "
+              f"{'retries':>7} {'rows':>5}")
+    print(header)
+    for run in report["runs"]:
+        retries = (run["send_retries"] + run["call_retries"]
+                   + run["ws_retries"])
+        print(f"{run['query']:>5} "
+              f"{run['fault_rate']:>5.2f} "
+              f"{run['wall_clock_s']:>7.3f} "
+              f"{run['response_time_ms'] / 1000.0:>7.2f} "
+              f"{run['slowdown']:>5.2f} "
+              f"{run['messages_dropped']:>5} "
+              f"{run['messages_duplicated']:>4} "
+              f"{run['ws_failures_injected']:>6} "
+              f"{retries:>7} "
+              f"{run['rows']:>5}")
+    freeze = report["freeze"]
+    print(f"freeze: {freeze['frozen_machine']} stalled "
+          f"{freeze['freeze_duration_ms'] / 1000.0:g} s -> "
+          f"{freeze['clones_quarantined']} quarantined, "
+          f"{freeze['clones_reintegrated']} reintegrated, "
+          f"{freeze['rows']} rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Seed-reproducible chaos injection and the defenses against it."""
+
+from repro.chaos.config import (ChaosConfig, FaultSchedule, LinkFault,
+                                MachineFreeze, RetryPolicy, ServiceFault)
+from repro.chaos.injector import ChaosInjector, MessageFault
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "FaultSchedule",
+    "LinkFault",
+    "MachineFreeze",
+    "MessageFault",
+    "RetryPolicy",
+    "ServiceFault",
+]

@@ -23,18 +23,23 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.chaos import ChaosConfig, MachineFreeze
 from repro.config import (
     AdaptivityConfig,
     FaultToleranceConfig,
     SchedulerConfig,
 )
+from repro.errors import ConfigurationError
 from repro.sched import WorkloadDriver, WorkloadSpec
 from repro.telemetry import format_timeline
 from repro.workloads import (
+    COORDINATOR,
+    DATA_HOST,
     DemoGrid,
     DemoGridSpec,
     Q1,
     Q2,
+    compute_machine_name,
     perturb_join_sleep,
     perturb_ws_cost,
 )
@@ -90,6 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
                              "tolerance and one spare)")
     parser.add_argument("--fail-at", type=float, default=5000.0,
                         metavar="MS", help="failure time (default 5000)")
+    parser.add_argument("--chaos-drop", type=float, default=0.0,
+                        metavar="P", help="drop each remote data/"
+                        "notify/request/response message with "
+                        "probability P (seed-reproducible)")
+    parser.add_argument("--chaos-duplicate", type=float, default=0.0,
+                        metavar="P", help="duplicate each remote "
+                        "message with probability P")
+    parser.add_argument("--chaos-delay", type=float, default=0.0,
+                        metavar="P", help="add extra link occupancy to "
+                        "each remote message with probability P")
+    parser.add_argument("--chaos-delay-ms", type=float, default=25.0,
+                        metavar="MS", help="extra delay per delayed "
+                        "message (default 25 ms)")
+    parser.add_argument("--chaos-ws-fail", type=float, default=0.0,
+                        metavar="P", help="fail each Web Service "
+                        "invocation transiently with probability P")
+    parser.add_argument("--chaos-freeze", action="append", default=[],
+                        metavar="MACHINE:AT_MS:DURATION_MS",
+                        help="freeze MACHINE for DURATION_MS starting "
+                        "at AT_MS (repeatable; enables fault tolerance "
+                        "with a suspect timeout)")
+    parser.add_argument("--suspect-timeout", type=float, default=None,
+                        metavar="MS", help="quarantine a clone silent "
+                        "for MS (between heartbeat interval and "
+                        "failure timeout; default 1000 with "
+                        "--chaos-freeze)")
     parser.add_argument("--timeline", action="store_true",
                         help="print the traced adaptivity timeline")
     parser.add_argument("--rows", type=int, default=5, metavar="N",
@@ -141,11 +172,60 @@ def run_workload(args: argparse.Namespace, grid: DemoGrid,
     return 0
 
 
+def _validated_chaos(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace,
+                     machine_names: list[str]) -> ChaosConfig | None:
+    for flag, value in (("--chaos-drop", args.chaos_drop),
+                        ("--chaos-duplicate", args.chaos_duplicate),
+                        ("--chaos-delay", args.chaos_delay),
+                        ("--chaos-ws-fail", args.chaos_ws_fail)):
+        if not 0.0 <= value <= 1.0:
+            parser.error(f"{flag} must be a probability in [0, 1], "
+                         f"got {value:g}")
+    if args.chaos_delay_ms < 0:
+        parser.error(f"--chaos-delay-ms must be >= 0, "
+                     f"got {args.chaos_delay_ms:g}")
+    freezes = []
+    for text in args.chaos_freeze:
+        parts = text.split(":")
+        if len(parts) != 3:
+            parser.error(f"--chaos-freeze expects "
+                         f"MACHINE:AT_MS:DURATION_MS, got {text!r}")
+        machine = parts[0]
+        if machine not in machine_names:
+            parser.error(f"--chaos-freeze: unknown machine {machine!r} "
+                         f"(expected one of: {', '.join(machine_names)})")
+        try:
+            freezes.append(MachineFreeze(machine, float(parts[1]),
+                                         float(parts[2])))
+        except (ValueError, ConfigurationError) as exc:
+            parser.error(f"--chaos-freeze {text!r}: {exc}")
+    if not (args.chaos_drop or args.chaos_duplicate or args.chaos_delay
+            or args.chaos_ws_fail or freezes):
+        return None
+    return ChaosConfig.lossy(
+        drop_probability=args.chaos_drop,
+        duplicate_probability=args.chaos_duplicate,
+        delay_probability=args.chaos_delay,
+        delay_ms=args.chaos_delay_ms,
+        ws_failure_probability=args.chaos_ws_fail,
+        freezes=tuple(freezes))
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.query is None and args.workload is None:
-        build_parser().error("a query is required unless --workload is "
-                             "given")
+        parser.error("a query is required unless --workload is given")
+    machine_names = [COORDINATOR, DATA_HOST] + [
+        compute_machine_name(i) for i in range(args.machines)]
+    if args.fail_at < 0:
+        parser.error(f"--fail-at must be >= 0, got {args.fail_at:g}")
+    if args.fail_machine and args.fail_machine not in machine_names:
+        parser.error(f"--fail-machine: unknown machine "
+                     f"{args.fail_machine!r} (expected one of: "
+                     f"{', '.join(machine_names)})")
+    chaos = _validated_chaos(parser, args, machine_names)
     spec = DemoGridSpec(
         compute_machines=args.machines,
         sequences_cardinality=args.sequences,
@@ -155,7 +235,18 @@ def main(argv: list[str] | None = None) -> int:
     fault_tolerance = None
     if args.fail_machine:
         fault_tolerance = FaultToleranceConfig(enabled=True)
-    grid = DemoGrid(spec, fault_tolerance=fault_tolerance)
+    wants_suspect = (args.suspect_timeout is not None
+                     or (chaos is not None and chaos.schedule.freezes))
+    if wants_suspect:
+        suspect_ms = (args.suspect_timeout
+                      if args.suspect_timeout is not None else 1000.0)
+        base = fault_tolerance or FaultToleranceConfig(enabled=True)
+        try:
+            fault_tolerance = base.replace(enabled=True,
+                                           suspect_timeout_ms=suspect_ms)
+        except ConfigurationError as exc:
+            parser.error(f"--suspect-timeout: {exc}")
+    grid = DemoGrid(spec, fault_tolerance=fault_tolerance, chaos=chaos)
     if args.perturb_ws:
         perturb_ws_cost(grid, args.perturb_ws)
     if args.perturb_sleep:
@@ -187,6 +278,18 @@ def main(argv: list[str] | None = None) -> int:
     if stats.machines_recovered:
         print(f"failures recovered: {stats.machines_recovered} "
               f"({stats.tuples_replayed_for_recovery} tuples replayed)")
+    if grid.chaos is not None:
+        counters = grid.chaos.counters()
+        print(f"chaos: {counters['messages_dropped']} dropped, "
+              f"{counters['messages_duplicated']} duplicated, "
+              f"{counters['messages_delayed']} delayed, "
+              f"{counters['ws_failures_injected']} ws failures; retries "
+              f"send {counters['send_retries']} / call "
+              f"{counters['call_retries']} / ws {counters['ws_retries']}")
+        if stats.clones_quarantined or stats.clones_reintegrated:
+            print(f"quarantine: {stats.clones_quarantined} clones "
+                  f"quarantined, {stats.clones_reintegrated} "
+                  "reintegrated")
     write_metrics(args, grid)
     if args.timeline:
         print()

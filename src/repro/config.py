@@ -125,6 +125,13 @@ class FaultToleranceConfig:
     heartbeat_interval_ms: float = 500.0
     #: A GQES silent for this long is declared failed.
     failure_timeout_ms: float = 1600.0
+    #: A GQES silent for this long (but shorter than the failure
+    #: timeout) is declared *suspect*: its clones are quarantined —
+    #: weights driven to zero, recovery logs retained — and
+    #: reintegrated if heartbeats resume.  ``None`` disables the
+    #: suspect state entirely (clones go straight from alive to dead,
+    #: exactly the pre-chaos behaviour).
+    suspect_timeout_ms: float | None = None
     #: Timeout for the Responder's/GDQS's service calls so a crashed
     #: peer cannot hang a control interaction forever.
     call_timeout_ms: float = 5000.0
@@ -137,6 +144,15 @@ class FaultToleranceConfig:
         if self.failure_timeout_ms <= self.heartbeat_interval_ms:
             raise ConfigurationError(
                 "failure timeout must exceed the heartbeat interval")
+        if self.suspect_timeout_ms is not None:
+            if not (self.heartbeat_interval_ms < self.suspect_timeout_ms
+                    < self.failure_timeout_ms):
+                raise ConfigurationError(
+                    "suspect timeout must lie strictly between the "
+                    "heartbeat interval and the failure timeout: "
+                    f"{self.heartbeat_interval_ms} < "
+                    f"{self.suspect_timeout_ms} < "
+                    f"{self.failure_timeout_ms} does not hold")
         if self.call_timeout_ms <= 0:
             raise ConfigurationError(
                 f"call timeout must be positive: {self.call_timeout_ms}")

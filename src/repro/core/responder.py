@@ -52,6 +52,10 @@ class _SubplanState:
         self.epoch = 0
         self.last_adaptation: float | None = None
         self.busy = False
+        # Per-instance quarantine flags (suspect clones, w_i -> 0) and
+        # the weights to restore shares from at reintegration.
+        self.quarantined = [False] * len(self.weights)
+        self.pre_quarantine_weights: list | None = None
 
 
 class Responder(GridService, NotificationPublisher):
@@ -75,6 +79,9 @@ class Responder(GridService, NotificationPublisher):
         self.skipped_near_completion = 0
         self.skipped_below_threshold = 0
         self.skipped_unreachable = 0
+        self.skipped_quarantined = 0
+        self.quarantines = 0
+        self.reintegrations = 0
         self.query_id = query_id
         metrics = context.metrics
         self._metric_proposals = metrics.counter(
@@ -85,7 +92,12 @@ class Responder(GridService, NotificationPublisher):
             reason: metrics.counter("responder_skips", query=query_id,
                                     reason=reason)
             for reason in ("busy", "cooldown", "near_completion",
-                           "below_threshold", "unreachable")}
+                           "below_threshold", "unreachable",
+                           "quarantined")}
+        self._metric_quarantines = metrics.counter(
+            "responder_quarantines", query=query_id)
+        self._metric_reintegrations = metrics.counter(
+            "responder_reintegrations", query=query_id)
         #: Proposal-timestamp to installed-weights latency of each
         #: accepted adaptation (the response leg of the control loop).
         self._metric_latency = metrics.histogram(
@@ -135,6 +147,12 @@ class Responder(GridService, NotificationPublisher):
     def _decide(self, state: _SubplanState,
                 proposal: ImbalanceProposal) -> typing.Generator:
         now = self.env.now
+        if any(state.quarantined):
+            # The Diagnoser's proposal assumes the full clone set;
+            # deploying it would hand work back to a stalled clone.
+            self.skipped_quarantined += 1
+            self._metric_skips["quarantined"].inc()
+            return
         if (state.last_adaptation is not None
                 and now - state.last_adaptation < self.config.cooldown_ms):
             self.skipped_cooldown += 1
@@ -154,20 +172,21 @@ class Responder(GridService, NotificationPublisher):
         # estimators and 2005-era SOAP stacks are not free).
         if self.config.decision_latency_ms > 0:
             yield self.env.timeout(self.config.decision_latency_ms)
+        retry = self.context.call_retry_policy()
         try:
             estimated_total = 0
             for endpoint in state.producer_endpoints:
                 reports = yield from self.call(
                     endpoint, "progress",
                     {"subplan_id": state.task.subplan_id},
-                    timeout_ms=self.call_timeout_ms)
+                    timeout_ms=self.call_timeout_ms, retry=retry)
                 estimated_total += sum(r.estimated_total for r in reports)
             processed_total = 0
             for endpoint in state.instance_endpoints:
                 processed_total += yield from self.call(
                     endpoint, "processed",
                     {"subplan_id": state.task.subplan_id},
-                    timeout_ms=self.call_timeout_ms)
+                    timeout_ms=self.call_timeout_ms, retry=retry)
         except ServiceError:
             # A peer is unreachable (likely crashed); abort this
             # adaptation and let failure recovery sort the world out.
@@ -183,37 +202,12 @@ class Responder(GridService, NotificationPublisher):
                 "response", self.name, "adaptation skipped near completion",
                 fraction=round(fraction, 3))
             return
-        state.epoch += 1
-        bucket_map: tuple | None = None
-        if state.bucket_map is not None:
-            state.bucket_map = rebalance_buckets(state.bucket_map, proposed)
-            bucket_map = tuple(state.bucket_map)
-        update = DistributionUpdate(
-            subplan_id=state.task.subplan_id,
-            weights=tuple(proposed),
-            bucket_map=bucket_map,
-            retrospective=self.config.retrospective,
-            epoch=state.epoch)
-        # Two-phase deployment: replays first in port order (the build
-        # side of a join before its probe side, so replayed state is
-        # observed before the tuples that probe it), then discards in
-        # reverse port order (old probe tuples leave before the state
-        # they need is torn down).  Each phase is an acknowledged call.
-        by_port = sorted(state.producers, key=lambda p: p[2])
-        try:
-            for producer_id, endpoint, _port in by_port:
-                yield from self.call(endpoint, "update_distribution", {
-                    "update": update, "producer_id": producer_id,
-                    "phase": "replay"}, timeout_ms=self.call_timeout_ms)
-            for producer_id, endpoint, _port in reversed(by_port):
-                yield from self.call(endpoint, "update_distribution", {
-                    "update": update, "producer_id": producer_id,
-                    "phase": "discard"}, timeout_ms=self.call_timeout_ms)
-        except ServiceError:
+        deployed = yield from self._deploy_weights(
+            state, proposed, self.config.retrospective)
+        if not deployed:
             self.skipped_unreachable += 1
             self._metric_skips["unreachable"].inc()
             return
-        state.weights = proposed
         state.last_adaptation = now
         self.adaptations_accepted += 1
         self._metric_adaptations.inc()
@@ -228,3 +222,154 @@ class Responder(GridService, NotificationPublisher):
             weights=tuple(proposed),
             epoch=state.epoch,
             timestamp=now))
+
+    def _deploy_weights(self, state: _SubplanState, proposed: list,
+                        retrospective: bool) -> typing.Generator:
+        """Push a weight vector to every producer; True on success.
+
+        Two-phase deployment: replays first in port order (the build
+        side of a join before its probe side, so replayed state is
+        observed before the tuples that probe it), then discards in
+        reverse port order (old probe tuples leave before the state
+        they need is torn down).  Each phase is an acknowledged call.
+        """
+        state.epoch += 1
+        bucket_map: tuple | None = None
+        if state.bucket_map is not None:
+            state.bucket_map = rebalance_buckets(state.bucket_map, proposed)
+            bucket_map = tuple(state.bucket_map)
+        update = DistributionUpdate(
+            subplan_id=state.task.subplan_id,
+            weights=tuple(proposed),
+            bucket_map=bucket_map,
+            retrospective=retrospective,
+            epoch=state.epoch)
+        retry = self.context.call_retry_policy()
+        by_port = sorted(state.producers, key=lambda p: p[2])
+        try:
+            for producer_id, endpoint, _port in by_port:
+                yield from self.call(endpoint, "update_distribution", {
+                    "update": update, "producer_id": producer_id,
+                    "phase": "replay"}, timeout_ms=self.call_timeout_ms,
+                    retry=retry)
+            for producer_id, endpoint, _port in reversed(by_port):
+                yield from self.call(endpoint, "update_distribution", {
+                    "update": update, "producer_id": producer_id,
+                    "phase": "discard"}, timeout_ms=self.call_timeout_ms,
+                    retry=retry)
+        except ServiceError:
+            return False
+        state.weights = list(proposed)
+        return True
+
+    # -- quarantine of suspect clones (chaos defense) -------------------
+
+    def _weights_excluding_quarantined(self,
+                                       state: _SubplanState) -> list | None:
+        """The share vector with quarantined clones driven to zero.
+
+        Based on the pre-quarantine shares so a reintegrated clone gets
+        its old share back (the Diagnoser then re-proposes from live
+        costs).  ``None`` when no weight would remain.
+        """
+        base = state.pre_quarantine_weights or state.weights
+        masked = [0.0 if quarantined else weight
+                  for weight, quarantined in zip(base, state.quarantined)]
+        if sum(masked) <= 0:
+            if not any(state.quarantined):
+                # Degenerate pre-quarantine vector: fall back to even.
+                return list(normalise_weights([1.0] * len(masked)))
+            return None
+        return list(normalise_weights(masked))
+
+    def is_quarantined(self, subplan_id: str, instance_index: int) -> bool:
+        state = self._state.get(subplan_id)
+        return (state is not None
+                and 0 <= instance_index < len(state.quarantined)
+                and state.quarantined[instance_index])
+
+    def quarantine(self, subplan_id: str,
+                   instance_index: int) -> typing.Generator:
+        """Drive a suspect clone's weight to zero (prospectively).
+
+        The clone's recovery log and in-flight state are retained —
+        unlike failure recovery nothing is rebuilt; new work simply
+        stops flowing to it.  Spawned as a process by the GDQS monitor.
+        """
+        state = self._state.get(subplan_id)
+        if (state is None or self.crashed
+                or not 0 <= instance_index < len(state.quarantined)
+                or state.quarantined[instance_index]):
+            return
+        while state.busy:
+            yield self.env.timeout(25.0)
+        state.busy = True
+        try:
+            if state.pre_quarantine_weights is None:
+                state.pre_quarantine_weights = list(state.weights)
+            state.quarantined[instance_index] = True
+            proposed = self._weights_excluding_quarantined(state)
+            if proposed is None:
+                # Every clone suspect: nowhere to shift work to.
+                state.quarantined[instance_index] = False
+                return
+            deployed = yield from self._deploy_weights(
+                state, proposed, retrospective=False)
+            if not deployed:
+                state.quarantined[instance_index] = False
+                return
+            self.quarantines += 1
+            self._metric_quarantines.inc()
+            self.context.tracer.record(
+                "response", self.name, "clone quarantined",
+                subplan=subplan_id, instance=instance_index,
+                epoch=state.epoch,
+                weights=tuple(round(w, 3) for w in proposed))
+            self.publish(TOPIC_WEIGHTS, WeightsInstalled(
+                subplan_id=subplan_id, weights=tuple(proposed),
+                epoch=state.epoch, timestamp=self.env.now))
+        finally:
+            state.busy = False
+
+    def reintegrate(self, subplan_id: str,
+                    instance_index: int) -> typing.Generator:
+        """Restore a recovered clone's share of the workload.
+
+        Re-installs the clone's pre-quarantine share and publishes the
+        new vector, from which the Diagnoser re-proposes as live costs
+        come in.  Spawned as a process by the GDQS monitor when the
+        clone's heartbeats resume.
+        """
+        state = self._state.get(subplan_id)
+        if (state is None or self.crashed
+                or not 0 <= instance_index < len(state.quarantined)
+                or not state.quarantined[instance_index]):
+            return
+        while state.busy:
+            yield self.env.timeout(25.0)
+        state.busy = True
+        try:
+            state.quarantined[instance_index] = False
+            proposed = self._weights_excluding_quarantined(state)
+            if proposed is None:
+                state.quarantined[instance_index] = True
+                return
+            deployed = yield from self._deploy_weights(
+                state, proposed, retrospective=False)
+            if not deployed:
+                state.quarantined[instance_index] = True
+                return
+            self.reintegrations += 1
+            self._metric_reintegrations.inc()
+            if not any(state.quarantined):
+                state.pre_quarantine_weights = None
+            self.context.tracer.record(
+                "response", self.name, "clone reintegrated",
+                subplan=subplan_id, instance=instance_index,
+                epoch=state.epoch,
+                weights=tuple(round(w, 3) for w in proposed))
+            self.publish(TOPIC_WEIGHTS, WeightsInstalled(
+                subplan_id=subplan_id, weights=tuple(proposed),
+                epoch=state.epoch, timestamp=self.env.now))
+        finally:
+            state.busy = False

@@ -33,7 +33,7 @@ from repro.dqp.gqes import GQES
 from repro.engine.control import QueryComplete, ResetProducer
 from repro.engine.metrics import SubplanMetrics
 from repro.engine.operators.base import EvalContext
-from repro.errors import PlanningError
+from repro.errors import PlanningError, ServiceError
 from repro.planner.physical import ROOT_SUBPLAN
 from repro.grid.container import GridContext
 from repro.net.message import KIND_CONTROL
@@ -71,6 +71,10 @@ class QueryStatistics:
     #: Tuples attributed per compute instance by the feed producers
     #: (summed over feeds) — the paper's "ratio of tuples" statistic.
     tuples_per_consumer: list
+    #: Suspect-clone quarantines and subsequent reintegrations (chaos
+    #: defense; zero without a suspect timeout).
+    clones_quarantined: int = 0
+    clones_reintegrated: int = 0
 
     @property
     def consumer_imbalance_ratio(self) -> float:
@@ -152,6 +156,8 @@ class GDQS(GridService):
         self._query_counter = 0
         self._heartbeats: dict[str, float] = {}
         self.failures_recovered = 0
+        self.clones_quarantined = 0
+        self.clones_reintegrated = 0
 
     def on_notification(self, topic: str, payload: typing.Any,
                         sender: str) -> None:
@@ -253,9 +259,20 @@ class GDQS(GridService):
 
     def _monitor_failures(self, handle: QueryHandle,
                           runtime: QueryRuntime) -> typing.Generator:
-        """Watch heartbeats and re-create evaluators lost to failures."""
+        """Watch heartbeats and grade silence: suspect, then dead.
+
+        A GQES silent beyond ``failure_timeout_ms`` is dead — its
+        evaluators are re-created elsewhere (the pre-existing path).
+        With ``suspect_timeout_ms`` set, the shorter silence window
+        first marks the GQES *suspect*: its compute clones are
+        quarantined (Responder drives their weights to zero while the
+        feed producers' recovery logs are retained), and if heartbeats
+        resume before the failure deadline the clones are reintegrated
+        instead of rebuilt.
+        """
         ft = self.fault_tolerance
         started = self.env.now
+        suspected: dict[str, list[int]] = {}
         while not handle.done.triggered:
             yield self.env.timeout(ft.heartbeat_interval_ms)
             if handle.done.triggered:
@@ -265,10 +282,69 @@ class GDQS(GridService):
                         or gqes.name == self.name):
                     continue
                 last_seen = self._heartbeats.get(gqes.name, started)
-                if self.env.now - last_seen <= ft.failure_timeout_ms:
+                silent_ms = self.env.now - last_seen
+                if silent_ms > ft.failure_timeout_ms:
+                    quarantined = suspected.pop(gqes.name, [])
+                    runtime.failures_handled.add(gqes.name)
+                    try:
+                        yield from self._recover(runtime, gqes)
+                    except ServiceError:
+                        # A control peer was unreachable mid-recovery;
+                        # retry on a later monitor tick.
+                        runtime.failures_handled.discard(gqes.name)
+                        self.context.tracer.record(
+                            "failure", self.name,
+                            "recovery attempt failed; will retry",
+                            failed=gqes.name)
+                        continue
+                    # The replacement starts healthy: lift any
+                    # quarantine the suspect phase imposed, else the
+                    # rebuilt clones would never receive work.
+                    self._reintegrate_clones(runtime, quarantined)
                     continue
-                runtime.failures_handled.add(gqes.name)
-                yield from self._recover(runtime, gqes)
+                if (ft.suspect_timeout_ms is None
+                        or runtime.responder is None
+                        or runtime.responder.crashed):
+                    continue
+                compute_id = runtime.plan.compute.subplan_id
+                if silent_ms > ft.suspect_timeout_ms:
+                    if gqes.name in suspected:
+                        continue
+                    indices = sorted(
+                        fragment.instance_index
+                        for fragment in gqes.fragments.values()
+                        if fragment.subplan_id == compute_id)
+                    if not indices:
+                        continue
+                    suspected[gqes.name] = indices
+                    self.clones_quarantined += len(indices)
+                    self.context.tracer.record(
+                        "failure", self.name, "gqes suspect",
+                        gqes=gqes.name, silent_ms=round(silent_ms, 1),
+                        instances=indices)
+                    for index in indices:
+                        self.env.process(
+                            runtime.responder.quarantine(compute_id, index),
+                            name=f"gdqs:quarantine:{gqes.name}:{index}")
+                elif gqes.name in suspected:
+                    # Heartbeats resumed before the failure deadline.
+                    indices = suspected.pop(gqes.name)
+                    self.clones_reintegrated += len(indices)
+                    self.context.tracer.record(
+                        "failure", self.name, "gqes recovered from suspect",
+                        gqes=gqes.name, instances=indices)
+                    self._reintegrate_clones(runtime, indices)
+
+    def _reintegrate_clones(self, runtime: QueryRuntime,
+                            indices: typing.Sequence[int]) -> None:
+        if (not indices or runtime.responder is None
+                or runtime.responder.crashed):
+            return
+        compute_id = runtime.plan.compute.subplan_id
+        for index in indices:
+            self.env.process(
+                runtime.responder.reintegrate(compute_id, index),
+                name=f"gdqs:reintegrate:{index}")
 
     def _pick_replacement(self, runtime: QueryRuntime,
                           failed_machine: str) -> str:
@@ -361,7 +437,8 @@ class GDQS(GridService):
                     {"subplan_id": compute_id,
                      "instance_id": old_fragment.instance_id,
                      "endpoint": new_gqes.name},
-                    timeout_ms=self.fault_tolerance.call_timeout_ms)
+                    timeout_ms=self.fault_tolerance.call_timeout_ms,
+                    retry=self.context.call_retry_policy())
         if runtime.responder is not None:
             runtime.responder.replace_endpoint(failed.name, new_gqes.name)
             if runtime.responder.crashed:
@@ -412,12 +489,14 @@ class GDQS(GridService):
                 yield from self.call(endpoint, "update_distribution", {
                     "update": newest, "producer_id": producer_id,
                     "phase": "replay"},
-                    timeout_ms=self.fault_tolerance.call_timeout_ms)
+                    timeout_ms=self.fault_tolerance.call_timeout_ms,
+                    retry=self.context.call_retry_policy())
         for producer_id, endpoint, _port in reversed(by_port):
             yield from self.call(endpoint, "update_distribution", {
                 "update": newest, "producer_id": producer_id,
                 "phase": "discard"},
-                timeout_ms=self.fault_tolerance.call_timeout_ms)
+                timeout_ms=self.fault_tolerance.call_timeout_ms,
+                retry=self.context.call_retry_policy())
         self.context.tracer.record(
             "failure", self.name, "orphaned update finalized",
             subplan=task.subplan_id)
@@ -468,7 +547,11 @@ class GDQS(GridService):
             machine_utilisation=machine_utilisation,
             tuples_replayed_for_recovery=sum(
                 p.tuples_replayed_for_recovery for p in feed_xps),
-            tuples_per_consumer=tuples_per_consumer)
+            tuples_per_consumer=tuples_per_consumer,
+            clones_quarantined=(runtime.responder.quarantines
+                                if runtime.responder else 0),
+            clones_reintegrated=(runtime.responder.reintegrations
+                                 if runtime.responder else 0))
         registry = self.context.metrics
         if registry.enabled:
             latency = registry.find("histogram", "detection_latency_ms",

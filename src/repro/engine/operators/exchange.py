@@ -110,6 +110,7 @@ class ExchangeProducer(UnaryOperator):
         self.tuples_moved = 0
         self.tuples_replayed_for_recovery = 0
         self.buffers_sent = 0
+        self.send_retries = 0
         metrics = ctx.grid.metrics
         self._metric_tuples_sent = metrics.counter(
             "exchange_tuples_sent", producer=producer_id)
@@ -309,8 +310,13 @@ class ExchangeProducer(UnaryOperator):
                              items, row_count)
         wire_bytes = serialization.wire_size_batch(row_count, self.row_bytes)
         # Synchronous send: the SOAP/HTTP call returns at delivery.
-        yield self.service.send(consumer.endpoint, KIND_DATA, payload,
-                                size_bytes=wire_bytes)
+        chaos = self.ctx.grid.chaos
+        if chaos is None:
+            yield self.service.send(consumer.endpoint, KIND_DATA, payload,
+                                    size_bytes=wire_bytes)
+        else:
+            yield from self._send_with_retry(consumer.endpoint, payload,
+                                             wire_bytes, chaos)
         send_cost = self.env.now - started
         self.buffers_sent += 1
         self._metric_buffers_sent.inc()
@@ -328,6 +334,33 @@ class ExchangeProducer(UnaryOperator):
                 recipient_channel=consumer.channel_key,
                 send_cost_ms=send_cost,
                 tuple_count=row_count)
+
+    def _send_with_retry(self, endpoint: str, payload, wire_bytes: int,
+                         chaos) -> typing.Generator:
+        """Send a data buffer, re-sending on chaos-induced silence.
+
+        Unbounded by construction (the config layer rejects a bounded
+        ``send_retry``): a data buffer must eventually arrive.  A
+        duplicate delivery caused by a timed-out-but-delivered original
+        is harmless — tid provenance de-duplicates downstream.  The
+        elapsed retry time flows into the M2 send cost, so sustained
+        loss surfaces to the Diagnoser as channel expense.
+        """
+        policy = chaos.config.send_retry
+        attempt = 0
+        while True:
+            attempt += 1
+            delivered = self.service.send(endpoint, KIND_DATA, payload,
+                                          size_bytes=wire_bytes)
+            winner, _ = yield self.env.any_of(
+                [delivered, self.env.timeout(policy.timeout_ms)])
+            if winner is delivered:
+                return
+            self.send_retries += 1
+            chaos.count_retry("send")
+            backoff = chaos.retry_backoff_ms(policy, attempt)
+            if backoff > 0:
+                yield self.env.timeout(backoff)
 
     def _announce_all(self) -> None:
         for index, consumer in enumerate(self.consumers):

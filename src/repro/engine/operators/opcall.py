@@ -24,6 +24,28 @@ class OperationCall(UnaryOperator):
         self.operation = operation
         self.arg_position = arg_position
         self.calls_made = 0
+        self.ws_retries = 0
+
+    def _retry_transient_failures(self) -> typing.Generator:
+        """Re-attempt the call while chaos makes it fail transiently.
+
+        Each failed attempt already paid the operation's work (the
+        request reached the service and died there); the retry backs
+        off per the ``ws_retry`` policy and pays the work again.
+        """
+        chaos = self.ctx.grid.chaos
+        if chaos is None:
+            return
+        attempt = 0
+        while chaos.ws_call_fails(self.operation.name):
+            attempt += 1
+            self.ws_retries += 1
+            chaos.count_retry("ws")
+            backoff = chaos.retry_backoff_ms(chaos.config.ws_retry, attempt)
+            if backoff > 0:
+                yield self.env.timeout(backoff)
+            yield from self.ctx.machine.work(
+                self.operation.work_label, self.operation.base_work_ms)
 
     def next(self) -> typing.Generator:
         row = yield from self.child.next()
@@ -34,6 +56,7 @@ class OperationCall(UnaryOperator):
             "opcall", self.ctx.cost.opcall_overhead_work)
         yield from self.ctx.machine.work(
             self.operation.work_label, self.operation.base_work_ms)
+        yield from self._retry_transient_failures()
         result = self.operation.invoke(row.values[self.arg_position])
         self.calls_made += 1
         return row.replace_values(row.values + (result,))
@@ -51,6 +74,7 @@ class OperationCall(UnaryOperator):
             len(batch))
         out = []
         for row in batch:
+            yield from self._retry_transient_failures()
             result = self.operation.invoke(row.values[self.arg_position])
             self.calls_made += 1
             out.append(row.replace_values(row.values + (result,)))

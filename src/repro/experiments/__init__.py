@@ -6,10 +6,11 @@ Run them all from the command line::
 
 or individually (``table1``, ``fig2a``, ``fig2b``, ``fig3a``,
 ``fig3b``, ``fig4``, ``fig5``, ``overheads``, ``monitoring``,
-``recovery``, ``multiquery``).
+``recovery``, ``multiquery``, ``chaos``).
 """
 
 from repro.experiments import (
+    chaos,
     fig2,
     fig3,
     fig4,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "overheads": overheads.run_overheads,
     "recovery": recovery.run,
     "monitoring": overheads.run_monitoring_frequency,
+    "chaos": chaos.run,
 }
 
 __all__ = [

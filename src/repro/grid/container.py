@@ -36,6 +36,31 @@ class GridContext:
         self.tracer = Tracer(self.env, max_events=trace_max_events)
         self.metrics = MetricsRegistry(self.env, enabled=metrics_enabled)
         self._services: list = []
+        #: Installed fault injector; None leaves every chaos hook on
+        #: its zero-cost fast path (no events, no draws, no streams).
+        self.chaos = None
+
+    def install_chaos(self, config) -> None:
+        """Install (or clear) the chaos injector for this grid.
+
+        A ``None`` or disabled :class:`~repro.chaos.config.ChaosConfig`
+        installs nothing, preserving the bit-identical baseline
+        timeline.
+        """
+        if config is None or not config.enabled:
+            self.chaos = None
+            self.network.chaos = None
+            return
+        from repro.chaos.injector import ChaosInjector
+        self.chaos = ChaosInjector(config, self)
+        self.network.chaos = self.chaos
+        self.chaos.start()
+
+    def call_retry_policy(self):
+        """The control-plane retry policy, when chaos is installed."""
+        if self.chaos is None:
+            return None
+        return self.chaos.config.call_retry
 
     def track_service(self, service) -> None:
         """Record a service for machine-level failure injection."""

@@ -47,6 +47,9 @@ class Machine:
         #: pressure; the denominator of :meth:`contention_factor`.
         self.capacity = float(capacity)
         self._shares: dict[str, float] = {}
+        #: End of the current chaos-injected stall window (sim ms);
+        #: 0.0 (i.e. the past) means not frozen.
+        self.frozen_until = 0.0
         if metrics is not None:
             self._register_metrics(metrics)
 
@@ -105,6 +108,26 @@ class Machine:
         if load <= self.capacity:
             return 1.0
         return load / self.capacity
+
+    # -- transient stalls (chaos injection) -----------------------------
+
+    @property
+    def is_frozen(self) -> bool:
+        return self.frozen_until > self.env.now
+
+    def freeze(self, duration_ms: float) -> float:
+        """Stall this machine for ``duration_ms`` from now.
+
+        The CPU serves no new burst and the hosted services neither
+        dispatch incoming messages nor transmit outgoing ones until the
+        window ends; all of it is retained and drains at thaw.  Unlike
+        :meth:`~repro.grid.container.GridContext.fail_machine` nothing
+        is lost — the machine comes back.  Returns the thaw time.
+        """
+        until = self.env.now + duration_ms
+        self.frozen_until = max(self.frozen_until, until)
+        self.cpu.freeze_until(self.frozen_until)
+        return self.frozen_until
 
     def add_perturbation(self, perturbation: Perturbation) -> None:
         """Attach a perturbation model to this machine."""

@@ -36,15 +36,22 @@ class Link:
         self._pump_running = False
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.chaos_delay_ms = 0.0
 
     def transmission_time(self, size_bytes: int) -> float:
         """Time the link is occupied transmitting ``size_bytes``."""
         return size_bytes / self.bandwidth
 
-    def transfer(self, size_bytes: int) -> Event:
-        """Send ``size_bytes``; the event fires at delivery time."""
+    def transfer(self, size_bytes: int,
+                 extra_delay_ms: float = 0.0) -> Event:
+        """Send ``size_bytes``; the event fires at delivery time.
+
+        ``extra_delay_ms`` models chaos-injected congestion: it extends
+        this transfer's link occupancy, so later messages queue behind
+        it and FIFO delivery order is preserved.
+        """
         delivered = Event(self.env)
-        self._transmit_queue.put((size_bytes, delivered))
+        self._transmit_queue.put((size_bytes, delivered, extra_delay_ms))
         if not self._pump_running:
             self._pump_running = True
             self.env.process(self._pump(), name="link-pump")
@@ -53,10 +60,14 @@ class Link:
     def _pump(self) -> typing.Generator[Event, typing.Any, None]:
         try:
             while not self._transmit_queue.is_empty:
-                size_bytes, delivered = yield self._transmit_queue.get()
-                yield self.env.timeout(self.transmission_time(size_bytes))
+                (size_bytes, delivered,
+                 extra_delay_ms) = yield self._transmit_queue.get()
+                yield self.env.timeout(
+                    self.transmission_time(size_bytes) + extra_delay_ms)
                 self.bytes_sent += size_bytes
                 self.messages_sent += 1
+                if extra_delay_ms > 0:
+                    self.chaos_delay_ms += extra_delay_ms
                 # Propagation happens off-link: schedule delivery without
                 # blocking the next transmission.
                 self.env.process(

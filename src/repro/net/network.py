@@ -61,6 +61,8 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_delivered = 0
+        # Chaos injector hook; None means no fault injection at all.
+        self.chaos = None
 
     # -- registration ---------------------------------------------------
 
@@ -127,9 +129,27 @@ class Network:
         else:
             link = self.link_between(
                 source.machine_name, destination.machine_name)
-            self.env.process(
-                self._deliver_remote(message, destination, link, done),
-                name="net-remote")
+            if self.chaos is None:
+                self.env.process(
+                    self._deliver_remote(message, destination, link, done),
+                    name="net-remote")
+            else:
+                fault = self.chaos.message_fault(
+                    source.machine_name, destination.machine_name,
+                    message.kind)
+                self.env.process(
+                    self._deliver_remote(
+                        message, destination, link, done,
+                        drop=fault.drop,
+                        extra_delay_ms=fault.extra_delay_ms),
+                    name="net-remote")
+                if fault.duplicate:
+                    # The copy re-occupies the same link FIFO behind the
+                    # original; its delivery event is nobody's business.
+                    self.env.process(
+                        self._deliver_remote(
+                            message, destination, link, Event(self.env)),
+                        name="net-remote-dup")
         return done
 
     def _deliver_local(self, message: Message, destination: Endpoint,
@@ -139,8 +159,16 @@ class Network:
         self._finish_delivery(message, destination, done)
 
     def _deliver_remote(self, message: Message, destination: Endpoint,
-                        link: Link, done: Event) -> typing.Generator:
-        yield link.transfer(message.size_bytes)
+                        link: Link, done: Event, drop: bool = False,
+                        extra_delay_ms: float = 0.0) -> typing.Generator:
+        yield link.transfer(message.size_bytes, extra_delay_ms)
+        if drop:
+            # A chaos-dropped message occupies the link but is never
+            # delivered — the sender observes silence, like a lost
+            # datagram; ``done`` never fires, so synchronous senders
+            # must pair it with a timeout (the retry wrappers do).
+            self.messages_dropped += 1
+            return
         self._finish_delivery(message, destination, done)
 
     def _finish_delivery(self, message: Message, destination: Endpoint,

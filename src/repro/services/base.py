@@ -52,6 +52,15 @@ class GridService:
         self.machine = context.registry.machine(machine_name)
         self.mailbox = self.network.register(name, machine_name)
         self._pending_calls: dict[int, Event] = {}
+        # Correlation ids of calls already settled (timed out, or
+        # completed by a first reply): a reply arriving for one — a
+        # stale reply after a timeout, or a chaos-duplicated response —
+        # must be discarded, not treated as a protocol violation.
+        self._settled_calls: set[int] = set()
+        self.stale_replies_discarded = 0
+        # Messages held while the host machine is frozen (chaos).
+        self._frozen_outbox: list = []
+        self._flusher_running = False
         self._running = True
         self.crashed = False
         self._dispatcher = self.env.process(
@@ -96,7 +105,39 @@ class GridService:
         message = Message(sender=self.name, recipient=recipient, kind=kind,
                           payload=payload, size_bytes=size_bytes,
                           subject=subject, correlation_id=correlation_id)
+        if self.machine.frozen_until > self.env.now:
+            # A frozen host transmits nothing; hold the message (as its
+            # socket buffers would) and flush it when the stall ends.
+            deferred = Event(self.env)
+            self._frozen_outbox.append((message, deferred))
+            if not self._flusher_running:
+                self._flusher_running = True
+                self.env.process(self._flush_frozen_outbox(),
+                                 name=f"thaw-flush:{self.name}")
+            return deferred
         return self.network.send(message)
+
+    def _flush_frozen_outbox(self) -> typing.Generator:
+        try:
+            while self.machine.frozen_until > self.env.now:
+                yield self.env.timeout(
+                    self.machine.frozen_until - self.env.now)
+            held, self._frozen_outbox = self._frozen_outbox, []
+            for message, deferred in held:
+                if self.crashed:
+                    deferred.succeed(None)
+                    continue
+                self.env.process(self._forward_delivery(
+                    self.network.send(message), deferred),
+                    name=f"thaw-send:{self.name}")
+        finally:
+            self._flusher_running = False
+
+    @staticmethod
+    def _forward_delivery(delivery: Event,
+                          deferred: Event) -> typing.Generator:
+        value = yield delivery
+        deferred.succeed(value)
 
     def notify(self, recipient: str, topic: str,
                payload: typing.Any) -> Event:
@@ -104,14 +145,23 @@ class GridService:
         return self.send(recipient, KIND_NOTIFY, payload, subject=topic)
 
     def call(self, recipient: str, operation: str,
-             payload: typing.Any = None, timeout_ms: float | None = None
+             payload: typing.Any = None, timeout_ms: float | None = None,
+             retry=None
              ) -> typing.Generator[Event, typing.Any, typing.Any]:
         """Request/response round trip: ``result = yield from call(...)``.
 
         With ``timeout_ms`` set, a missing response (e.g. the recipient
         crashed) raises :class:`~repro.errors.ServiceError` instead of
-        blocking forever.
+        blocking forever.  With a :class:`~repro.chaos.config
+        .RetryPolicy` as ``retry``, failed attempts are repeated after
+        a capped, jittered exponential backoff (each attempt bounded by
+        ``timeout_ms`` or, failing that, the policy's ``timeout_ms``)
+        until one succeeds or ``max_attempts`` is exhausted.
         """
+        if retry is not None:
+            result = yield from self._call_with_retry(
+                recipient, operation, payload, timeout_ms, retry)
+            return result
         correlation_id = next(_correlation_ids)
         reply = self.env.event()
         self._pending_calls[correlation_id] = reply
@@ -123,17 +173,49 @@ class GridService:
         winner, value = yield self.env.any_of(
             [reply, self.env.timeout(timeout_ms)])
         if winner is not reply:
-            self._pending_calls.pop(correlation_id, None)
+            if self._pending_calls.pop(correlation_id, None) is not None:
+                self._settled_calls.add(correlation_id)
             raise ServiceError(
                 f"{self.name}: call {operation!r} to {recipient} timed "
                 f"out after {timeout_ms} ms")
         return value
+
+    def _call_with_retry(self, recipient: str, operation: str,
+                         payload: typing.Any, timeout_ms: float | None,
+                         retry) -> typing.Generator:
+        attempt_timeout = (timeout_ms if timeout_ms is not None
+                           else retry.timeout_ms)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = yield from self.call(
+                    recipient, operation, payload,
+                    timeout_ms=attempt_timeout)
+                return result
+            except ServiceError:
+                if (retry.max_attempts is not None
+                        and attempt >= retry.max_attempts):
+                    raise
+                chaos = self.context.chaos
+                if chaos is not None:
+                    chaos.count_retry("call")
+                    backoff = chaos.retry_backoff_ms(retry, attempt)
+                else:
+                    backoff = retry.backoff_ms(attempt)
+                if backoff > 0:
+                    yield self.env.timeout(backoff)
 
     # -- incoming ---------------------------------------------------------
 
     def _dispatch_loop(self) -> typing.Generator:
         while self._running:
             message = yield self.mailbox.get()
+            while self.machine.frozen_until > self.env.now:
+                # Frozen host: delivered messages sit in the mailbox's
+                # kernel buffer until the stall ends.
+                yield self.env.timeout(
+                    self.machine.frozen_until - self.env.now)
             self._route(message)
 
     def _route(self, message: Message) -> None:
@@ -156,9 +238,16 @@ class GridService:
     def _complete_call(self, message: Message) -> None:
         reply = self._pending_calls.pop(message.correlation_id, None)
         if reply is None:
+            if message.correlation_id in self._settled_calls:
+                # Reply to a call that already timed out or was
+                # answered (duplicated response): discard it instead
+                # of misdelivering (or killing the dispatcher).
+                self.stale_replies_discarded += 1
+                return
             raise ServiceError(
                 f"{self.name}: unexpected response "
                 f"(correlation {message.correlation_id})")
+        self._settled_calls.add(message.correlation_id)
         if isinstance(message.payload, BaseException):
             reply.fail(message.payload)
         else:

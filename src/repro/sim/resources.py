@@ -57,6 +57,7 @@ class Cpu:
             self._speed_fn = lambda _t: constant
         self._pending: collections.deque[CpuTask] = collections.deque()
         self._serving = False
+        self._frozen_until = 0.0
         self.busy_time = 0.0
         self.tasks_completed = 0
         #: Optional telemetry hook: an object with ``sample(value)``
@@ -93,9 +94,19 @@ class Cpu:
             self.env.process(self._serve(), name="cpu-server")
         return task
 
+    def freeze_until(self, until: float) -> None:
+        """Stall the server: no task starts service before ``until``.
+
+        Queued and newly submitted work is retained and drains once the
+        freeze expires — a transient stall, not a crash.
+        """
+        self._frozen_until = max(self._frozen_until, until)
+
     def _serve(self) -> typing.Generator[Event, typing.Any, None]:
         try:
             while self._pending:
+                while self._frozen_until > self.env.now:
+                    yield self.env.timeout(self._frozen_until - self.env.now)
                 task = self._pending.popleft()
                 task.started_at = self.env.now
                 duration = task.work / self.speed_at(self.env.now)

@@ -71,7 +71,8 @@ class DemoGrid:
                  network_config: NetworkConfig | None = None,
                  serialization: SerializationModel | None = None,
                  fault_tolerance: FaultToleranceConfig | None = None,
-                 metrics_enabled: bool = True) -> None:
+                 metrics_enabled: bool = True,
+                 chaos=None) -> None:
         self.spec = spec or DemoGridSpec()
         self.engine_config = engine_config or EngineConfig()
         self.cost = cost or CostModel()
@@ -113,6 +114,14 @@ class DemoGrid:
             self.context, self.gds_map, self.operations, COORDINATOR,
             engine_config=self.engine_config, cost=self.cost,
             fault_tolerance=fault_tolerance)
+        # Installed last so fault draws never perturb the data/
+        # placement streams above (a disabled config installs nothing).
+        self.context.install_chaos(chaos)
+
+    @property
+    def chaos(self):
+        """The installed chaos injector, or None."""
+        return self.context.chaos
 
     def perturb(self, machine_name: str,
                 perturbation: Perturbation) -> None:

@@ -1,0 +1,22 @@
+"""Slow sweep test for the ``chaos`` experiment (run with ``-m slow``)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+
+@pytest.mark.slow
+def test_chaos_experiment_rows_are_complete_at_every_fault_rate():
+    report = EXPERIMENTS["chaos"]()
+    assert report.experiment_id == "chaos"
+    by_query = {}
+    for row in report.row_dicts():
+        by_query.setdefault(row["query"], []).append(row)
+    # Every sweep row returns the full result set for its query.
+    for label in ("Q1", "Q2"):
+        counts = {row["results"] for row in by_query[label]}
+        assert len(counts) == 1, counts
+    # The freeze scenario quarantined (and the run still completed).
+    (freeze_row,) = by_query["Q1+freeze"]
+    assert freeze_row["quarantined"] >= 1
+    assert freeze_row["results"] == by_query["Q1"][0]["results"]

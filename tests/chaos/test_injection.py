@@ -1,0 +1,107 @@
+"""Behavioural tests for fault injection and the defensive layers."""
+
+from repro.chaos import ChaosConfig, ChaosInjector, FaultSchedule, LinkFault
+from repro.config import AdaptivityConfig
+from repro.grid import GridContext
+from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
+
+SPEC = DemoGridSpec(sequences_cardinality=120, interactions_cardinality=150,
+                    sequence_length=16)
+
+
+def run(query, chaos):
+    grid = DemoGrid(SPEC, chaos=chaos)
+    result = grid.run(query, AdaptivityConfig.disabled())
+    return grid, result
+
+
+class TestInjectorVerdicts:
+    def make_injector(self, **lossy_kwargs):
+        context = GridContext(seed=0)
+        return ChaosInjector(ChaosConfig.lossy(**lossy_kwargs), context)
+
+    def test_certain_drop_suppresses_duplicate_and_delay(self):
+        injector = self.make_injector(drop_probability=1.0,
+                                      duplicate_probability=1.0,
+                                      delay_probability=1.0, delay_ms=10.0)
+        fault = injector.message_fault("m1", "m2", "data")
+        assert fault.drop
+        assert not fault.duplicate
+        assert fault.extra_delay_ms == 0.0
+        assert injector.messages_dropped == 1
+        assert injector.messages_duplicated == 0
+
+    def test_control_kind_is_never_faulted_by_default_rules(self):
+        injector = self.make_injector(drop_probability=1.0)
+        fault = injector.message_fault("m1", "m2", "control")
+        assert fault == (False, False, 0.0)
+        assert injector.messages_dropped == 0
+
+    def test_delays_of_stacked_rules_accumulate(self):
+        context = GridContext(seed=0)
+        rule = LinkFault(delay_probability=1.0, delay_ms=10.0)
+        config = ChaosConfig(enabled=True, schedule=FaultSchedule(
+            link_faults=(rule, rule)))
+        injector = ChaosInjector(config, context)
+        fault = injector.message_fault("m1", "m2", "data")
+        assert fault.extra_delay_ms == 20.0
+        assert injector.messages_delayed == 1
+        assert injector.extra_delay_ms_total == 20.0
+
+    def test_ws_fault_draws_only_for_matching_window(self):
+        injector = self.make_injector(ws_failure_probability=1.0)
+        assert injector.ws_call_fails("EntropyAnalyser")
+        assert injector.ws_failures_injected == 1
+
+
+class TestMachineFreeze:
+    def test_freeze_is_transient_and_extends_not_shrinks(self):
+        context = GridContext(seed=0)
+        context.add_machine("m1")
+        machine = context.registry.machine("m1")
+        assert not machine.is_frozen
+        until = machine.freeze(50.0)
+        assert until == 50.0
+        assert machine.is_frozen
+        assert machine.freeze(30.0) == 50.0  # shorter overlap: no-op
+        assert machine.freeze(80.0) == 80.0  # longer overlap extends
+        context.env.run(until=100.0)
+        assert not machine.is_frozen
+
+
+class TestEndToEndResilience:
+    def test_drops_are_retried_until_rows_complete(self):
+        grid, result = run(Q2, ChaosConfig.lossy(drop_probability=0.15))
+        counters = grid.chaos.counters()
+        assert counters["messages_dropped"] > 0
+        assert counters["send_retries"] + counters["call_retries"] > 0
+        assert result.stats.result_count == 150
+
+    def test_duplicates_and_delays_do_not_corrupt_results(self):
+        _, clean = run(Q2, None)
+        grid, noisy = run(Q2, ChaosConfig.lossy(duplicate_probability=0.2,
+                                                delay_probability=0.3,
+                                                delay_ms=40.0))
+        counters = grid.chaos.counters()
+        assert counters["messages_duplicated"] > 0
+        assert counters["messages_delayed"] > 0
+        # tid provenance de-duplicates the extra deliveries.
+        assert sorted(noisy.values()) == sorted(clean.values())
+
+    def test_ws_failures_are_retried_with_identical_answers(self):
+        _, clean = run(Q1, None)
+        grid, noisy = run(Q1, ChaosConfig.lossy(ws_failure_probability=0.4))
+        counters = grid.chaos.counters()
+        assert counters["ws_failures_injected"] > 0
+        assert counters["ws_retries"] > 0
+        assert sorted(noisy.values()) == sorted(clean.values())
+        # Retried calls re-pay their work, so the run takes longer.
+        assert noisy.response_time_ms > clean.response_time_ms
+
+    def test_disabled_config_installs_no_injector(self):
+        grid, result = run(Q2, ChaosConfig(
+            enabled=False,
+            schedule=FaultSchedule(link_faults=(
+                LinkFault(drop_probability=0.9),))))
+        assert grid.chaos is None
+        assert result.stats.result_count == 150

@@ -65,7 +65,7 @@ class TestRegistryAndReport:
     def test_all_paper_artefacts_registered(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5",
-            "overheads", "monitoring", "recovery", "multiquery"}
+            "overheads", "monitoring", "recovery", "multiquery", "chaos"}
 
     def test_render_produces_aligned_table(self):
         report = ExperimentReport(

@@ -98,6 +98,88 @@ class TestRecoveryLog:
         assert log.acknowledged_total == 10
 
 
+class TestRecoveryLogEdgeCases:
+    def test_acknowledge_below_earliest_sealed_frees_nothing(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 3):
+            log.append(row)
+        log.seal(5)
+        assert log.acknowledge(4) == 0
+        assert len(log) == 3
+        assert log.acknowledged_total == 0
+
+    def test_ack_between_checkpoint_ids_prunes_the_prefix_only(self):
+        # Checkpoint ids need not be contiguous (a consumer may ack a
+        # checkpoint this producer never sealed); an intermediate id
+        # prunes every segment at or below it and nothing above.
+        log = RecoveryLog("ch")
+        for row in rows(0, 2):
+            log.append(row)
+        log.seal(1)
+        for row in rows(2, 2):
+            log.append(row)
+        log.seal(3)
+        assert log.acknowledge(2) == 2
+        assert [r.tid for r in log.outstanding()] == ["t#2", "t#3"]
+
+    def test_repeated_ack_is_idempotent(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 2):
+            log.append(row)
+        log.seal(1)
+        assert log.acknowledge(1) == 2
+        assert log.acknowledge(1) == 0
+        assert log.acknowledged_total == 2
+
+    def test_empty_sealed_segments_prune_cleanly(self):
+        # A checkpoint can seal an empty segment (no tuples sent since
+        # the last marker); pruning it frees nothing and later seals
+        # still enforce increasing ids.
+        log = RecoveryLog("ch")
+        log.seal(1)
+        assert len(log) == 0
+        for row in rows(0, 3):
+            log.append(row)
+        log.seal(2)
+        assert log.acknowledge(1) == 0
+        assert log.acknowledge(2) == 3
+        assert len(log) == 0
+        with pytest.raises(RecoveryError):
+            log.seal(2)
+
+    def test_segment_emptied_by_remove_survives_ack(self):
+        log = RecoveryLog("ch")
+        for row in rows(0, 2):
+            log.append(row)
+        log.seal(1)
+        removed = log.remove({"t#0", "t#1"})
+        assert len(removed) == 2
+        assert len(log) == 0
+        assert log.acknowledge(1) == 0  # already drained by remove()
+
+    def test_re_extraction_after_partial_acks(self):
+        # A retrospective repartition extracts only what is still
+        # unacknowledged; tuples re-logged after resending reappear at
+        # the tail of the open segment.
+        log = RecoveryLog("ch")
+        for row in rows(0, 4):
+            log.append(row)
+        log.seal(1)
+        for row in rows(4, 4):
+            log.append(row)
+        log.seal(2)
+        log.acknowledge(1)
+        assert [r.tid for r in log.outstanding()] == [
+            f"t#{i}" for i in range(4, 8)]
+        moved = log.remove({"t#4", "t#5", "t#0"})  # t#0 already acked
+        assert sorted(r.tid for r in moved) == ["t#4", "t#5"]
+        assert [r.tid for r in log.outstanding()] == ["t#6", "t#7"]
+        log.append_batch(moved)  # re-logged on the new channel's resend
+        assert [r.tid for r in log.outstanding()] == [
+            "t#6", "t#7", "t#4", "t#5"]
+        assert len(log) == 4
+
+
 @given(st.lists(st.tuples(st.integers(min_value=1, max_value=5),
                           st.booleans()),
                 min_size=1, max_size=20))

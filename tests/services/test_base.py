@@ -127,6 +127,50 @@ def test_remote_subscription_via_operation():
     assert publisher.subscribers_of("t") == ["sub"]
 
 
+def test_stale_reply_after_timeout_is_discarded():
+    """Regression: a reply landing after its call timed out used to be
+    treated as a protocol violation, killing the dispatch loop."""
+    context = make_context()
+    a = EchoService(context, "svc-a", "m1")
+    EchoService(context, "svc-b", "m2")
+
+    def caller(env):
+        # op_echo takes >1 ms (handler delay plus two network hops);
+        # this timeout fires first, the reply arrives afterwards.
+        with pytest.raises(ServiceError, match="timed out"):
+            yield from a.call("svc-b", "echo", "ping", timeout_ms=0.5)
+        return "ok"
+
+    proc = context.env.process(caller(context.env))
+    context.env.run(until=proc)
+    assert proc.value == "ok"
+    # Drain the in-flight reply.
+    context.env.run()
+    assert a.stale_replies_discarded == 1
+
+    # The dispatcher survived: later calls still round-trip.
+    def second(env):
+        return (yield from a.call("svc-b", "echo", "again"))
+
+    proc = context.env.process(second(context.env))
+    context.env.run(until=proc)
+    assert proc.value == {"echo": "again", "from": "svc-a"}
+
+
+def test_truly_unknown_correlation_id_still_raises():
+    from repro.net import KIND_RESPONSE, Message
+
+    context = make_context()
+    a = EchoService(context, "svc-a", "m1")
+    EchoService(context, "svc-b", "m2")
+    rogue = Message(sender="svc-b", recipient="svc-a",
+                    kind=KIND_RESPONSE, payload="?",
+                    correlation_id=999)
+    with pytest.raises(ServiceError, match="unexpected response"):
+        a._complete_call(rogue)
+    assert a.stale_replies_discarded == 0
+
+
 def test_duplicate_subscription_ignored():
     context = make_context()
     publisher = PublisherService(context, "pub", "m1")

@@ -77,6 +77,90 @@ class TestCli:
             main([*SMALL])
 
 
+class TestCliValidation:
+    QUERY = "select p.ORF from protein_sequences p"
+
+    def reject(self, capsys, *argv):
+        with pytest.raises(SystemExit):
+            main([self.QUERY, *argv, *SMALL])
+        return capsys.readouterr().err
+
+    def test_negative_fail_at_rejected(self, capsys):
+        err = self.reject(capsys, "--fail-machine", "compute-1",
+                          "--fail-at", "-1")
+        assert "--fail-at" in err
+
+    def test_unknown_fail_machine_rejected(self, capsys):
+        err = self.reject(capsys, "--fail-machine", "compute-9")
+        assert "compute-9" in err
+        # The error lists the valid names.
+        assert "coordinator" in err
+        assert "compute-2" in err
+
+    def test_fail_machine_respects_machine_count(self, capsys):
+        err = self.reject(capsys, "--machines", "1",
+                          "--fail-machine", "compute-2")
+        assert "compute-2" in err  # only compute-1 exists
+
+    def test_chaos_probability_out_of_range_rejected(self, capsys):
+        err = self.reject(capsys, "--chaos-drop", "1.5")
+        assert "--chaos-drop" in err
+        err = self.reject(capsys, "--chaos-ws-fail", "-0.2")
+        assert "--chaos-ws-fail" in err
+
+    def test_negative_chaos_delay_rejected(self, capsys):
+        err = self.reject(capsys, "--chaos-delay", "0.5",
+                          "--chaos-delay-ms", "-10")
+        assert "--chaos-delay-ms" in err
+
+    def test_malformed_chaos_freeze_rejected(self, capsys):
+        err = self.reject(capsys, "--chaos-freeze", "compute-1:100")
+        assert "MACHINE:AT_MS:DURATION_MS" in err
+
+    def test_chaos_freeze_unknown_machine_rejected(self, capsys):
+        err = self.reject(capsys, "--chaos-freeze", "compute-9:100:500")
+        assert "compute-9" in err
+
+    def test_chaos_freeze_bad_duration_rejected(self, capsys):
+        err = self.reject(capsys, "--chaos-freeze", "compute-1:100:0")
+        assert "duration" in err
+
+    def test_suspect_timeout_must_leave_room_for_heartbeats(self, capsys):
+        err = self.reject(capsys, "--suspect-timeout", "1")
+        assert "--suspect-timeout" in err
+
+
+class TestCliChaos:
+    QUERY = "select p.ORF from protein_sequences p"
+
+    def test_chaos_run_reports_counters_and_full_rows(self, capsys):
+        code, out = run_cli(
+            capsys, self.QUERY, "--static", "--chaos-drop", "0.1",
+            "--chaos-duplicate", "0.1", *SMALL)
+        assert code == 0
+        assert "results: 120 rows" in out
+        assert "chaos:" in out
+
+    def test_chaos_run_is_seed_reproducible(self, capsys):
+        argv = [self.QUERY, "--static", "--chaos-drop", "0.1",
+                "--chaos-delay", "0.2", "--chaos-delay-ms", "40",
+                "--seed", "3", *SMALL]
+        _code, first = run_cli(capsys, *argv)
+        _code, second = run_cli(capsys, *argv)
+        assert first == second
+
+    def test_freeze_run_reports_quarantine(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "select EntropyAnalyser(p.sequence) from protein_sequences p",
+            "--chaos-freeze", "compute-2:600:900",
+            "--suspect-timeout", "600",
+            "--sequences", "400", "--interactions", "500")
+        assert code == 0
+        assert "results: 400 rows" in out
+        assert "quarantined" in out
+
+
 class TestCliSeed:
     def test_same_seed_reproduces_single_query_output(self, capsys):
         argv = ["select EntropyAnalyser(p.sequence) "
