@@ -12,16 +12,27 @@ Runs Q1 (10x WS perturbation) and Q2 (join sleep) at batch sizes
   are scheduled, so makespans may drift by well under a percent when
   blocking perturbations interleave differently with channel traffic.
 
-Results are written to ``BENCH_perf.json`` in the repository root.
-The headline acceptance check: batch size 32 must schedule at least
-5x fewer DES events than batch size 1 on the Q1 10x scenario.
+A separate **kernel overhead** section runs each scenario at the
+default batch size with the kernel fast path on and off: the two modes
+must agree bit-for-bit on DES events, simulated response time and row
+counts (the fast path is a pure allocation/coalescing discipline), and
+the section reports their wall-clock and allocation deltas.
+
+Results are written to ``BENCH_perf.json`` in the repository root;
+when a previous report exists, per-scenario wall-clock and allocation
+deltas against it are printed before it is overwritten.  The headline
+acceptance check: batch size 32 must schedule at least 5x fewer DES
+events than batch size 1 on the Q1 10x scenario.
 
 Run directly (``python benchmarks/bench_perf.py``) or via pytest
-(``pytest benchmarks/bench_perf.py``).
+(``pytest benchmarks/bench_perf.py``).  ``--smoke SCENARIO`` runs a
+single fast check that the scenario's DES event count has not
+regressed above the committed report's figure (used by CI).
 """
 
 from __future__ import annotations
 
+import argparse
 import gc
 import json
 import pathlib
@@ -49,10 +60,16 @@ SCENARIOS = {
 OUTPUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
-def _execute(query_text, perturb, batch_size):
+#: The default batch size, used by the overhead and smoke sections.
+DEFAULT_BATCH_SIZE = 32
+
+
+def _execute(query_text, perturb, batch_size, fast_path=True):
     """One full run; returns (result, grid)."""
     grid = DemoGrid(DemoGridSpec(),
-                    engine_config=EngineConfig(batch_size=batch_size))
+                    engine_config=EngineConfig(
+                        batch_size=batch_size,
+                        kernel_fast_path=fast_path))
     perturb(grid)
     result = grid.run(query_text, AdaptivityConfig.disabled())
     return result, grid
@@ -88,9 +105,51 @@ def measure(query_text, perturb, batch_size):
     }
 
 
+def _timed_run(query_text, perturb, batch_size, fast_path):
+    """One untraced wall-clock/allocation measurement."""
+    gc.collect()
+    blocks_before = sys.getallocatedblocks()
+    started = time.perf_counter()
+    result, grid = _execute(query_text, perturb, batch_size, fast_path)
+    wall_clock_s = time.perf_counter() - started
+    blocks_after = sys.getallocatedblocks()
+    return {
+        "wall_clock_s": round(wall_clock_s, 4),
+        "alloc_blocks_delta": blocks_after - blocks_before,
+        "des_events": grid.context.env.events_scheduled,
+        "sim_response_time_ms": round(result.response_time_ms, 3),
+        "result_rows": len(result.rows),
+    }
+
+
+def measure_kernel_overhead(query_text, perturb):
+    """Fast path vs legacy kernel at the default batch size.
+
+    The fast path must be a pure host-side optimisation: both modes
+    must agree exactly on DES events, simulated response time and row
+    count, so only the host-cost columns may differ.
+    """
+    fast = _timed_run(query_text, perturb, DEFAULT_BATCH_SIZE, True)
+    legacy = _timed_run(query_text, perturb, DEFAULT_BATCH_SIZE, False)
+    for key in ("des_events", "sim_response_time_ms", "result_rows"):
+        if fast[key] != legacy[key]:
+            raise AssertionError(
+                f"kernel fast path changed {key}: "
+                f"{fast[key]} (fast) != {legacy[key]} (legacy)")
+    return {
+        "batch_size": DEFAULT_BATCH_SIZE,
+        "fast": fast,
+        "legacy": legacy,
+        "wall_clock_ratio": round(
+            legacy["wall_clock_s"] / fast["wall_clock_s"], 3)
+            if fast["wall_clock_s"] else None,
+    }
+
+
 def run_benchmark():
     """Run every scenario at every batch size; returns the report dict."""
-    report = {"batch_sizes": list(BATCH_SIZES), "scenarios": {}}
+    report = {"batch_sizes": list(BATCH_SIZES), "scenarios": {},
+              "kernel_overhead": {}}
     for name, (query_text, perturb) in SCENARIOS.items():
         runs = [measure(query_text, perturb, batch_size)
                 for batch_size in BATCH_SIZES]
@@ -99,12 +158,72 @@ def run_benchmark():
             run["des_event_reduction_vs_bs1"] = round(
                 baseline["des_events"] / run["des_events"], 2)
         report["scenarios"][name] = runs
+        report["kernel_overhead"][name] = measure_kernel_overhead(
+            query_text, perturb)
     return report
+
+
+def load_previous():
+    """The committed report, or None when it does not exist yet."""
+    try:
+        return json.loads(OUTPUT_PATH.read_text())
+    except (OSError, ValueError):
+        return None
 
 
 def write_report(report):
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return OUTPUT_PATH
+
+
+def print_deltas(previous, report):
+    """Per-scenario wall-clock/allocation deltas vs the previous report."""
+    if not previous:
+        print("no previous BENCH_perf.json; skipping delta report")
+        return
+    print("\ndeltas vs previous BENCH_perf.json "
+          "(negative = this run is cheaper)")
+    for name, runs in report["scenarios"].items():
+        old_runs = {run["batch_size"]: run
+                    for run in previous.get("scenarios", {}).get(name, [])}
+        for run in runs:
+            old = old_runs.get(run["batch_size"])
+            if old is None:
+                continue
+            wall_delta = run["wall_clock_s"] - old["wall_clock_s"]
+            pct = (100.0 * wall_delta / old["wall_clock_s"]
+                   if old["wall_clock_s"] else 0.0)
+            alloc_delta = (run["alloc_blocks_delta"]
+                           - old["alloc_blocks_delta"])
+            print(f"  {name} bs={run['batch_size']:<3} "
+                  f"wall {wall_delta:+.3f}s ({pct:+.1f}%)  "
+                  f"alloc blocks {alloc_delta:+d}")
+
+
+def smoke(scenario):
+    """CI check: the scenario's DES event count must not regress.
+
+    Runs one fast-path execution at the default batch size and fails
+    if it schedules more DES events than the committed report's budget
+    (events are deterministic, so any increase is a real regression).
+    """
+    previous = load_previous()
+    if not previous:
+        print("BENCH_perf.json missing; cannot smoke-check", file=sys.stderr)
+        return 2
+    query_text, perturb = SCENARIOS[scenario]
+    recorded = {run["batch_size"]: run
+                for run in previous["scenarios"][scenario]}
+    budget = recorded[DEFAULT_BATCH_SIZE]["des_events"]
+    result, grid = _execute(query_text, perturb, DEFAULT_BATCH_SIZE)
+    observed = grid.context.env.events_scheduled
+    print(f"{scenario} bs={DEFAULT_BATCH_SIZE}: {observed} DES events "
+          f"(budget {budget}), {len(result.rows)} rows")
+    if observed > budget:
+        print(f"FAIL: exceeds recorded budget by {observed - budget}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def test_batching_reduces_des_events():
@@ -133,7 +252,19 @@ def test_batching_reduces_des_events():
     assert reduction >= 5.0, f"only {reduction:.2f}x event reduction"
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Batch-granularity and kernel-overhead benchmark.")
+    parser.add_argument("--smoke", metavar="SCENARIO",
+                        choices=sorted(SCENARIOS),
+                        help="fast CI check: fail if SCENARIO schedules "
+                             "more DES events than the committed "
+                             "BENCH_perf.json budget")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(args.smoke)
+
+    previous = load_previous()
     report = run_benchmark()
     path = write_report(report)
     print(f"wrote {path}")
@@ -149,6 +280,19 @@ def main():
                   f"{run['alloc_blocks_delta']:>13} "
                   f"{run['tracemalloc_peak_bytes'] / 2**20:>9.1f}")
 
+    print(f"\nkernel overhead (fast path vs legacy, "
+          f"bs={DEFAULT_BATCH_SIZE})")
+    for name, overhead in report["kernel_overhead"].items():
+        fast, legacy = overhead["fast"], overhead["legacy"]
+        print(f"  {name}: fast {fast['wall_clock_s']:.3f}s / "
+              f"legacy {legacy['wall_clock_s']:.3f}s "
+              f"(ratio {overhead['wall_clock_ratio']}x)  "
+              f"alloc blocks {fast['alloc_blocks_delta']} vs "
+              f"{legacy['alloc_blocks_delta']}  "
+              f"[{fast['des_events']} DES events, identical]")
+    print_deltas(previous, report)
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -129,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the run's metrics snapshot (machine "
                              "utilisation, adaptivity counters, per-query "
                              "reports) as JSON Lines to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 20 "
+                             "functions by cumulative time to stderr")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="dump the raw pstats profile to PATH "
+                             "(implies --profile; inspect with "
+                             "'python -m pstats PATH')")
     return parser
 
 
@@ -215,6 +222,30 @@ def _validated_chaos(parser: argparse.ArgumentParser,
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if not (args.profile or args.profile_out):
+        return _run(parser, args)
+    # Profiling wraps the whole run (grid construction included) so
+    # the kernel's scheduling hot path is visible.  The report goes to
+    # stderr: stdout stays identical with and without --profile.
+    import cProfile
+    import pstats
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run(parser, args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"profile: pstats dump written to {args.profile_out} "
+                  "(inspect with 'python -m pstats')", file=sys.stderr)
+    return status
+
+
+def _run(parser: argparse.ArgumentParser,
+         args: argparse.Namespace) -> int:
     if args.query is None and args.workload is None:
         parser.error("a query is required unless --workload is given")
     machine_names = [COORDINATOR, DATA_HOST] + [

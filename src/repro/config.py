@@ -229,6 +229,12 @@ class EngineConfig:
     #: Whether recovery logging is active.  Retrospective response
     #: requires it; it is the source of R1's extra overhead.
     logging_enabled: bool = True
+    #: Whether the DES kernel's allocation-avoiding fast path is
+    #: active (event pooling, same-slot coalescing, inline resumes).
+    #: Observably identical either way — same rows, timeline and
+    #: ``events_scheduled`` — so False exists purely as the A/B
+    #: reference for equivalence testing and overhead measurement.
+    kernel_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

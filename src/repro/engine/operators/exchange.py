@@ -79,6 +79,11 @@ class ExchangeProducer(UnaryOperator):
         self.row_bytes = row_bytes
         self.estimated_total = estimated_total
         self.service: typing.Any = None  # attached by the hosting GQES
+        #: Per-tuple recovery-log cost, folded once: charged on every
+        #: routed row, so the two-field lookup and multiply stay off
+        #: the per-tuple path.
+        self._log_work = (ctx.cost.log_append_work
+                          + ctx.cost.log_append_work_per_byte * row_bytes)
         count = len(consumers)
         self._buffers: list[list] = [[] for _ in range(count)]
         self._buffer_rows: list[int] = [0] * count
@@ -87,9 +92,9 @@ class ExchangeProducer(UnaryOperator):
             if ctx.engine_config.logging_enabled else None
             for ref in consumers]
         #: Tids currently attributed to each channel (buffered or sent).
-        self._attributed: list[set] = [set() for _ in range(count)]
+        self._attributed: list[set[Tid]] = [set() for _ in range(count)]
         #: Tids actually transmitted on each channel.
-        self._on_wire: list[set] = [set() for _ in range(count)]
+        self._on_wire: list[set[Tid]] = [set() for _ in range(count)]
         self._since_checkpoint: list[int] = [0] * count
         self._checkpoint_seq: list[int] = [0] * count
         self._channel_sent_rows: list[int] = [0] * count
@@ -204,10 +209,7 @@ class ExchangeProducer(UnaryOperator):
         self._attributed[index].add(row.tid)
         log = self._logs[index]
         if log is not None:
-            yield from self.ctx.machine.work(
-                "log-append",
-                self.ctx.cost.log_append_work
-                + self.ctx.cost.log_append_work_per_byte * self.row_bytes)
+            yield from self.ctx.machine.work("log-append", self._log_work)
             log.append(row)
         self._since_checkpoint[index] += 1
         self._channel_sent_rows[index] += 1
@@ -268,10 +270,7 @@ class ExchangeProducer(UnaryOperator):
         """Pay a placed batch's aggregated costs and transmit its sends."""
         if logged:
             yield from self.ctx.machine.work_batch(
-                "log-append",
-                self.ctx.cost.log_append_work
-                + self.ctx.cost.log_append_work_per_byte * self.row_bytes,
-                logged)
+                "log-append", self._log_work, logged)
         for index, items, row_count in sends:
             yield from self._transmit(index, items, row_count)
 
@@ -323,9 +322,10 @@ class ExchangeProducer(UnaryOperator):
         self._metric_tuples_sent.inc(row_count)
         self._metric_bytes_sent.inc(wire_bytes)
         self._metric_occupancy.sample(sum(self._buffer_rows))
+        on_wire_add = self._on_wire[index].add
         for item in items:
             if isinstance(item, Row):
-                self._on_wire[index].add(item.tid)
+                on_wire_add(item.tid)
         if self.ctx.monitor is not None and row_count:
             yield from self.ctx.machine.work(
                 "monitor", self.ctx.cost.monitor_event_work)

@@ -28,7 +28,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-metrics", action="store_true",
         help="skip writing the per-experiment metrics files")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run each experiment's sweep cells over N worker "
+             "processes (default: 1 = serial; results and metrics "
+             "are identical whatever N is)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     names = (sorted(EXPERIMENTS) if "all" in args.experiments
              else args.experiments)
     for name in names:
@@ -36,7 +43,7 @@ def main(argv: list[str] | None = None) -> int:
         sink = None if args.no_metrics else MetricsSink()
         previous = set_metrics_sink(sink)
         try:
-            report = EXPERIMENTS[name]()
+            report = EXPERIMENTS[name](jobs=args.jobs)
         finally:
             set_metrics_sink(previous)
         print(render(report))
@@ -44,7 +51,10 @@ def main(argv: list[str] | None = None) -> int:
             path = pathlib.Path(args.metrics_dir) / f"METRICS_{name}.jsonl"
             count = sink.write_jsonl(path)
             print(f"[metrics: {count} records -> {path}]")
-        print(f"[{name} completed in {time.time() - started:.1f}s wall]")
+        # Wall time goes to stderr: stdout must be byte-identical for
+        # any --jobs value (the property tests diff it).
+        print(f"[{name} completed in {time.time() - started:.1f}s wall]",
+              file=sys.stderr)
         print()
     return 0
 

@@ -24,7 +24,11 @@ from __future__ import annotations
 
 from repro.chaos import ChaosConfig, FaultSchedule, MachineFreeze
 from repro.config import AdaptivityConfig, FaultToleranceConfig
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+)
 from repro.workloads.proteins import DemoGrid, DemoGridSpec
 from repro.workloads.queries import Q1, Q2
 
@@ -54,58 +58,102 @@ def _chaos_for(rate: float, query: str) -> ChaosConfig | None:
                                 if query == Q1 else 0.0))
 
 
-def _run(query: str, rate: float, adaptive: bool):
+def _rate_cell(query: str, rate: float, adaptive: bool) -> dict:
+    """One fault-rate run; returns the row ingredients as primitives."""
     grid = DemoGrid(_SPEC, chaos=_chaos_for(rate, query))
     adaptivity = (AdaptivityConfig() if adaptive
                   else AdaptivityConfig.disabled())
     result = grid.run(query, adaptivity)
     counters = (grid.chaos.counters() if grid.chaos is not None
                 else {})
-    return result, counters
+    return {
+        "response_time_ms": result.response_time_ms,
+        "counters": dict(counters),
+        "result_count": result.stats.result_count,
+    }
 
 
-def run() -> ExperimentReport:
-    """Fault-rate sweep plus the freeze/quarantine scenario."""
-    rows = []
-    for query, label in ((Q1, "Q1"), (Q2, "Q2")):
-        for adaptive in (True, False):
-            baseline_ms = None
-            for rate in FAULT_RATES:
-                result, counters = _run(query, rate, adaptive)
-                if baseline_ms is None:
-                    baseline_ms = result.response_time_ms
-                rows.append([
-                    label,
-                    "on" if adaptive else "off",
-                    f"{rate:.2f}",
-                    result.response_time_ms / baseline_ms,
-                    counters.get("messages_dropped", 0),
-                    counters.get("messages_duplicated", 0),
-                    (counters.get("send_retries", 0)
-                     + counters.get("call_retries", 0)
-                     + counters.get("ws_retries", 0)),
-                    0,
-                    result.stats.result_count,
-                ])
+def _freeze_baseline_cell() -> float:
+    """The quarantine scenario's fault-free reference run."""
+    grid = DemoGrid(_SPEC, fault_tolerance=_FREEZE_FT)
+    return grid.run(Q1, AdaptivityConfig()).response_time_ms
 
-    # Quarantine scenario: transient stall of one clone, Q1 adaptive.
-    ft_grid = DemoGrid(_SPEC, fault_tolerance=_FREEZE_FT)
-    ft_baseline = ft_grid.run(Q1, AdaptivityConfig())
+
+def _freeze_cell() -> dict:
+    """The quarantine scenario: one clone stalled mid-run."""
     chaos = ChaosConfig(enabled=True,
                         schedule=FaultSchedule(freezes=(_FREEZE,)))
     grid = DemoGrid(_SPEC, fault_tolerance=_FREEZE_FT, chaos=chaos)
     result = grid.run(Q1, AdaptivityConfig())
-    counters = grid.chaos.counters()
+    return {
+        "response_time_ms": result.response_time_ms,
+        "counters": dict(grid.chaos.counters()),
+        "quarantined": result.stats.clones_quarantined,
+        "result_count": result.stats.result_count,
+    }
+
+
+#: Fault-rate sweep groups: (query text, row label, adaptive).
+_GROUPS = tuple((query, label, adaptive)
+                for query, label in ((Q1, "Q1"), (Q2, "Q2"))
+                for adaptive in (True, False))
+
+
+def cells() -> list[SweepCell]:
+    sweep = []
+    for query, label, adaptive in _GROUPS:
+        for rate in FAULT_RATES:
+            sweep.append(SweepCell(
+                f"{label}:{'on' if adaptive else 'off'}:{rate:g}",
+                _rate_cell,
+                {"query": query, "rate": rate, "adaptive": adaptive}))
+    sweep.append(SweepCell("Q1+freeze:baseline", _freeze_baseline_cell))
+    sweep.append(SweepCell("Q1+freeze:stall", _freeze_cell))
+    return sweep
+
+
+def _retries(counters: dict) -> int:
+    return (counters.get("send_retries", 0)
+            + counters.get("call_retries", 0)
+            + counters.get("ws_retries", 0))
+
+
+def run(jobs: int = 1) -> ExperimentReport:
+    """Fault-rate sweep plus the freeze/quarantine scenario."""
+    values = SweepRunner(jobs).run(cells())
+    points = iter(values)
+    rows = []
+    for _query, label, adaptive in _GROUPS:
+        baseline_ms = None
+        for rate in FAULT_RATES:
+            outcome = next(points)
+            if baseline_ms is None:
+                baseline_ms = outcome["response_time_ms"]
+            counters = outcome["counters"]
+            rows.append([
+                label,
+                "on" if adaptive else "off",
+                f"{rate:.2f}",
+                outcome["response_time_ms"] / baseline_ms,
+                counters.get("messages_dropped", 0),
+                counters.get("messages_duplicated", 0),
+                _retries(counters),
+                0,
+                outcome["result_count"],
+            ])
+
+    # Quarantine scenario: transient stall of one clone, Q1 adaptive.
+    freeze_baseline_ms = next(points)
+    freeze = next(points)
+    counters = freeze["counters"]
     rows.append([
         "Q1+freeze", "on", "stall",
-        result.response_time_ms / ft_baseline.response_time_ms,
+        freeze["response_time_ms"] / freeze_baseline_ms,
         counters.get("messages_dropped", 0),
         counters.get("messages_duplicated", 0),
-        (counters.get("send_retries", 0)
-         + counters.get("call_retries", 0)
-         + counters.get("ws_retries", 0)),
-        result.stats.clones_quarantined,
-        result.stats.result_count,
+        _retries(counters),
+        freeze["quarantined"],
+        freeze["result_count"],
     ])
     return ExperimentReport(
         experiment_id="chaos",

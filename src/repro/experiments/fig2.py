@@ -7,6 +7,11 @@
   yields better repartitioning when pipelining overlaps communication,
   and (ii) retrospective adaptations scale better with perturbation
   size.
+
+Both sweeps declare their runs as :class:`SweepCell` data — one
+baseline cell plus one cell per (perturbation, policy) point — so the
+runner can execute them serially or over a process pool with identical
+output.
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ from repro.config import (
     RESPONSE_R1,
     RESPONSE_R2,
 )
-from repro.experiments.harness import BaselineCache, ExperimentReport, execute
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+    baseline_cell,
+    execute,
+)
 from repro.workloads.scenarios import perturb_ws_cost
 
 PERTURBATION_FACTORS = (10.0, 20.0, 30.0)
@@ -28,19 +39,61 @@ PERTURBATION_FACTORS = (10.0, 20.0, 30.0)
 #: Paper series (read off Fig. 2a): disabled / enabled.
 PAPER_FIG2A = {10.0: (3.53, 1.45), 20.0: (6.66, 2.48), 30.0: (9.76, 3.79)}
 
+#: Fig. 2(b)'s policy matrix.
+POLICIES = (
+    ("A1-R2", ASSESSMENT_A1, RESPONSE_R2),
+    ("A1-R1", ASSESSMENT_A1, RESPONSE_R1),
+    ("A2-R2", ASSESSMENT_A2, RESPONSE_R2),
+)
 
-def run_fig2a() -> ExperimentReport:
+
+def _fig2a_cell(factor: float, enabled: bool) -> float:
+    """One Fig. 2(a) run: Q1, WS ``factor``x costlier."""
+    adaptivity = (AdaptivityConfig(response=RESPONSE_R2) if enabled
+                  else AdaptivityConfig.disabled())
+    result = execute("Q1", adaptivity,
+                     perturb=functools.partial(perturb_ws_cost,
+                                               factor=factor))
+    return result.response_time_ms
+
+
+def _fig2b_cell(factor: float, assessment: str, response: str) -> float:
+    """One Fig. 2(b) run: Q1 under one policy combination."""
+    result = execute(
+        "Q1", AdaptivityConfig(assessment=assessment, response=response),
+        perturb=functools.partial(perturb_ws_cost, factor=factor))
+    return result.response_time_ms
+
+
+def fig2a_cells() -> list[SweepCell]:
+    cells = [SweepCell("Q1:baseline", baseline_cell, {"query_key": "Q1"})]
+    for factor in PERTURBATION_FACTORS:
+        for enabled in (False, True):
+            cells.append(SweepCell(
+                f"Q1:{factor:g}x:{'adaptive' if enabled else 'static'}",
+                _fig2a_cell, {"factor": factor, "enabled": enabled}))
+    return cells
+
+
+def fig2b_cells() -> list[SweepCell]:
+    cells = [SweepCell("Q1:baseline", baseline_cell, {"query_key": "Q1"})]
+    for factor in PERTURBATION_FACTORS:
+        for name, assessment, response in POLICIES:
+            cells.append(SweepCell(
+                f"Q1:{factor:g}x:{name}", _fig2b_cell,
+                {"factor": factor, "assessment": assessment,
+                 "response": response}))
+    return cells
+
+
+def run_fig2a(jobs: int = 1) -> ExperimentReport:
     """Fig. 2(a): Q1, prospective adaptations, adaptivity off vs on."""
-    baselines = BaselineCache()
+    values = SweepRunner(jobs).run(fig2a_cells())
+    baseline_ms, points = values[0], iter(values[1:])
     rows = []
     for factor in PERTURBATION_FACTORS:
-        perturb = functools.partial(perturb_ws_cost, factor=factor)
-        disabled = baselines.normalised(
-            execute("Q1", AdaptivityConfig.disabled(), perturb=perturb),
-            "Q1")
-        enabled = baselines.normalised(
-            execute("Q1", AdaptivityConfig(response=RESPONSE_R2),
-                    perturb=perturb), "Q1")
+        disabled = next(points) / baseline_ms
+        enabled = next(points) / baseline_ms
         paper_disabled, paper_enabled = PAPER_FIG2A[factor]
         rows.append([f"{factor:.0f} times", disabled, enabled,
                      paper_disabled, paper_enabled])
@@ -52,28 +105,18 @@ def run_fig2a() -> ExperimentReport:
         rows=rows)
 
 
-def run_fig2b() -> ExperimentReport:
+def run_fig2b(jobs: int = 1) -> ExperimentReport:
     """Fig. 2(b): Q1 under the three adaptivity policy combinations."""
-    baselines = BaselineCache()
-    policies = (
-        ("A1-R2", AdaptivityConfig(assessment=ASSESSMENT_A1,
-                                   response=RESPONSE_R2)),
-        ("A1-R1", AdaptivityConfig(assessment=ASSESSMENT_A1,
-                                   response=RESPONSE_R1)),
-        ("A2-R2", AdaptivityConfig(assessment=ASSESSMENT_A2,
-                                   response=RESPONSE_R2)),
-    )
+    values = SweepRunner(jobs).run(fig2b_cells())
+    baseline_ms, points = values[0], iter(values[1:])
     rows = []
     for factor in PERTURBATION_FACTORS:
-        perturb = functools.partial(perturb_ws_cost, factor=factor)
-        values = [baselines.normalised(
-            execute("Q1", config, perturb=perturb), "Q1")
-            for _name, config in policies]
-        rows.append([f"{factor:.0f} times"] + values)
+        policy_values = [next(points) / baseline_ms for _policy in POLICIES]
+        rows.append([f"{factor:.0f} times"] + policy_values)
     return ExperimentReport(
         experiment_id="fig2b",
         title="Q1 under different adaptivity policies (Fig. 2b)",
-        columns=["perturbation"] + [name for name, _cfg in policies],
+        columns=["perturbation"] + [name for name, _a, _r in POLICIES],
         rows=rows,
         notes=("Expected shape: A1-R2 <= A2-R2 (pipelining hides "
                "communication), and A1-R1 roughly flat across "

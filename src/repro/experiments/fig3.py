@@ -8,6 +8,9 @@ with a doubled dataset.
   adaptations, WS 10x/20x/30x costlier.  With more data the adaptation
   happens relatively earlier, so prospective results approach the
   retrospective ones.
+
+Both sweeps are declared as :class:`SweepCell` data (a baseline cell
+plus one cell per measured point) for the parallel sweep runner.
 """
 
 from __future__ import annotations
@@ -16,7 +19,13 @@ import dataclasses
 import functools
 
 from repro.config import AdaptivityConfig, RESPONSE_R1, RESPONSE_R2
-from repro.experiments.harness import BaselineCache, ExperimentReport, execute
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+    baseline_cell,
+    execute,
+)
 from repro.workloads.proteins import DemoGridSpec
 from repro.workloads.scenarios import perturb_join_sleep, perturb_ws_cost
 
@@ -26,19 +35,60 @@ FACTORS = (10.0, 20.0, 30.0)
 #: Fig. 2(a)'s enabled series, the comparison point for Fig. 3(b).
 PAPER_FIG3B_SINGLE_SIZE = {10.0: 1.45, 20.0: 2.48, 30.0: 3.79}
 
+#: Fig. 3(b)'s double-size dataset.
+FIG3B_SPEC = dataclasses.replace(DemoGridSpec(), sequences_cardinality=6000)
 
-def run_fig3a() -> ExperimentReport:
+
+def _fig3a_cell(sleep_ms: float, enabled: bool) -> float:
+    """One Fig. 3(a) run: Q2 with a per-tuple join sleep."""
+    adaptivity = (AdaptivityConfig(response=RESPONSE_R1) if enabled
+                  else AdaptivityConfig.disabled())
+    result = execute("Q2", adaptivity,
+                     perturb=functools.partial(perturb_join_sleep,
+                                               sleep_ms=sleep_ms))
+    return result.response_time_ms
+
+
+def _fig3b_cell(factor: float, enabled: bool) -> float:
+    """One Fig. 3(b) run: double-size Q1, WS ``factor``x costlier."""
+    adaptivity = (AdaptivityConfig(response=RESPONSE_R2) if enabled
+                  else AdaptivityConfig.disabled())
+    result = execute("Q1", adaptivity,
+                     perturb=functools.partial(perturb_ws_cost,
+                                               factor=factor),
+                     spec=FIG3B_SPEC)
+    return result.response_time_ms
+
+
+def fig3a_cells() -> list[SweepCell]:
+    cells = [SweepCell("Q2:baseline", baseline_cell, {"query_key": "Q2"})]
+    for sleep_ms in SLEEP_MS:
+        for enabled in (False, True):
+            cells.append(SweepCell(
+                f"Q2:{sleep_ms:g}ms:{'adaptive' if enabled else 'static'}",
+                _fig3a_cell, {"sleep_ms": sleep_ms, "enabled": enabled}))
+    return cells
+
+
+def fig3b_cells() -> list[SweepCell]:
+    cells = [SweepCell("Q1x2:baseline", baseline_cell,
+                       {"query_key": "Q1", "spec": FIG3B_SPEC})]
+    for factor in FACTORS:
+        for enabled in (False, True):
+            cells.append(SweepCell(
+                f"Q1x2:{factor:g}x:{'adaptive' if enabled else 'static'}",
+                _fig3b_cell, {"factor": factor, "enabled": enabled}))
+    return cells
+
+
+def run_fig3a(jobs: int = 1) -> ExperimentReport:
     """Fig. 3(a): Q2, retrospective adaptations, growing sleeps."""
-    baselines = BaselineCache()
+    values = SweepRunner(jobs).run(fig3a_cells())
+    baseline_ms, points = values[0], iter(values[1:])
     rows = []
     for sleep_ms in SLEEP_MS:
-        perturb = functools.partial(perturb_join_sleep, sleep_ms=sleep_ms)
-        disabled = baselines.normalised(
-            execute("Q2", AdaptivityConfig.disabled(), perturb=perturb),
-            "Q2")
-        enabled = baselines.normalised(
-            execute("Q2", AdaptivityConfig(response=RESPONSE_R1),
-                    perturb=perturb), "Q2")
+        disabled = next(points) / baseline_ms
+        enabled = next(points) / baseline_ms
         rows.append([f"{sleep_ms:.0f}msec", disabled, enabled])
     return ExperimentReport(
         experiment_id="fig3a",
@@ -50,19 +100,14 @@ def run_fig3a() -> ExperimentReport:
                "to perturbation size)."))
 
 
-def run_fig3b() -> ExperimentReport:
+def run_fig3b(jobs: int = 1) -> ExperimentReport:
     """Fig. 3(b): Q1 at double data size, prospective adaptations."""
-    spec = dataclasses.replace(DemoGridSpec(), sequences_cardinality=6000)
-    baselines = BaselineCache()
+    values = SweepRunner(jobs).run(fig3b_cells())
+    baseline_ms, points = values[0], iter(values[1:])
     rows = []
     for factor in FACTORS:
-        perturb = functools.partial(perturb_ws_cost, factor=factor)
-        disabled = baselines.normalised(
-            execute("Q1", AdaptivityConfig.disabled(), perturb=perturb,
-                    spec=spec), "Q1", spec=spec)
-        enabled = baselines.normalised(
-            execute("Q1", AdaptivityConfig(response=RESPONSE_R2),
-                    perturb=perturb, spec=spec), "Q1", spec=spec)
+        disabled = next(points) / baseline_ms
+        enabled = next(points) / baseline_ms
         rows.append([f"{factor:.0f} times", disabled, enabled,
                      PAPER_FIG3B_SINGLE_SIZE[factor]])
     return ExperimentReport(

@@ -5,6 +5,10 @@ Q1 runs on three WS machines; 0, 1, 2 or all 3 of them are perturbed
 least one unperturbed machine the adaptive system degrades very
 gracefully and almost independently of the perturbation magnitude; the
 static system degrades by up to an order of magnitude.
+
+The 24-run sweep is declared as :class:`SweepCell` data (a baseline
+cell plus one cell per (magnitude, perturbed count, adaptivity) point)
+for the parallel sweep runner.
 """
 
 from __future__ import annotations
@@ -13,29 +17,58 @@ import dataclasses
 import functools
 
 from repro.config import AdaptivityConfig, RESPONSE_R1
-from repro.experiments.harness import BaselineCache, ExperimentReport, execute
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+    baseline_cell,
+    execute,
+)
 from repro.workloads.proteins import DemoGridSpec
 from repro.workloads.scenarios import perturb_ws_cost
 
 FACTORS = (10.0, 20.0, 30.0)
 PERTURBED_COUNTS = (0, 1, 2, 3)
 
+#: The three-WS-machine deployment of Fig. 4.
+FIG4_SPEC = dataclasses.replace(DemoGridSpec(), compute_machines=3)
 
-def run() -> ExperimentReport:
+
+def _fig4_cell(factor: float, count: int, enabled: bool) -> float:
+    """One Fig. 4 run: ``count`` machines perturbed ``factor``x."""
+    adaptivity = (AdaptivityConfig(response=RESPONSE_R1) if enabled
+                  else AdaptivityConfig.disabled())
+    result = execute("Q1", adaptivity,
+                     perturb=functools.partial(perturb_ws_cost,
+                                               factor=factor,
+                                               machines=count),
+                     spec=FIG4_SPEC)
+    return result.response_time_ms
+
+
+def cells() -> list[SweepCell]:
+    sweep = [SweepCell("Q1x3:baseline", baseline_cell,
+                       {"query_key": "Q1", "spec": FIG4_SPEC})]
+    for factor in FACTORS:
+        for count in PERTURBED_COUNTS:
+            for enabled in (False, True):
+                sweep.append(SweepCell(
+                    f"Q1x3:{factor:g}x:{count}pert:"
+                    f"{'adaptive' if enabled else 'static'}",
+                    _fig4_cell,
+                    {"factor": factor, "count": count, "enabled": enabled}))
+    return sweep
+
+
+def run(jobs: int = 1) -> ExperimentReport:
     """Reproduce Fig. 4(a)-(c) as one table."""
-    spec = dataclasses.replace(DemoGridSpec(), compute_machines=3)
-    baselines = BaselineCache()
+    values = SweepRunner(jobs).run(cells())
+    baseline_ms, points = values[0], iter(values[1:])
     rows = []
     for factor in FACTORS:
         for count in PERTURBED_COUNTS:
-            perturb = functools.partial(perturb_ws_cost, factor=factor,
-                                        machines=count)
-            disabled = baselines.normalised(
-                execute("Q1", AdaptivityConfig.disabled(), perturb=perturb,
-                        spec=spec), "Q1", spec=spec)
-            enabled = baselines.normalised(
-                execute("Q1", AdaptivityConfig(response=RESPONSE_R1),
-                        perturb=perturb, spec=spec), "Q1", spec=spec)
+            disabled = next(points) / baseline_ms
+            enabled = next(points) / baseline_ms
             rows.append([f"{factor:.0f} times", count, disabled, enabled])
     return ExperimentReport(
         experiment_id="fig4",

@@ -7,6 +7,10 @@ prospective and retrospective adaptations are run; the paper's claim
 is that performance under varying perturbations stays close to the
 stable-perturbation case, i.e. the system adapts efficiently to rapid
 changes.
+
+The sweep is declared as :class:`SweepCell` data (a baseline cell plus
+one cell per (range, response policy) point) for the parallel sweep
+runner.
 """
 
 from __future__ import annotations
@@ -14,25 +18,44 @@ from __future__ import annotations
 import functools
 
 from repro.config import AdaptivityConfig, RESPONSE_R1, RESPONSE_R2
-from repro.experiments.harness import BaselineCache, ExperimentReport, execute
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+    baseline_cell,
+    execute,
+)
 from repro.workloads.scenarios import perturb_ws_cost_varying
 
 RANGES = ((30.0, 30.0), (25.0, 35.0), (20.0, 40.0), (1.0, 60.0))
 
 
-def run() -> ExperimentReport:
+def _fig5_cell(low: float, high: float, response: str) -> float:
+    """One Fig. 5 run: WS cost varying in [low, high] per tuple."""
+    result = execute("Q1", AdaptivityConfig(response=response),
+                     perturb=functools.partial(perturb_ws_cost_varying,
+                                               low=low, high=high))
+    return result.response_time_ms
+
+
+def cells() -> list[SweepCell]:
+    sweep = [SweepCell("Q1:baseline", baseline_cell, {"query_key": "Q1"})]
+    for low, high in RANGES:
+        for response in (RESPONSE_R2, RESPONSE_R1):
+            sweep.append(SweepCell(
+                f"Q1:[{low:g},{high:g}]:{response}", _fig5_cell,
+                {"low": low, "high": high, "response": response}))
+    return sweep
+
+
+def run(jobs: int = 1) -> ExperimentReport:
     """Reproduce Fig. 5."""
-    baselines = BaselineCache()
+    values = SweepRunner(jobs).run(cells())
+    baseline_ms, points = values[0], iter(values[1:])
     rows = []
     for low, high in RANGES:
-        perturb = functools.partial(perturb_ws_cost_varying,
-                                    low=low, high=high)
-        prospective = baselines.normalised(
-            execute("Q1", AdaptivityConfig(response=RESPONSE_R2),
-                    perturb=perturb), "Q1")
-        retrospective = baselines.normalised(
-            execute("Q1", AdaptivityConfig(response=RESPONSE_R1),
-                    perturb=perturb), "Q1")
+        prospective = next(points) / baseline_ms
+        retrospective = next(points) / baseline_ms
         rows.append([f"[{low:.0f},{high:.0f}]", prospective, retrospective])
     return ExperimentReport(
         experiment_id="fig5",

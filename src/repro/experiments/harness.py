@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import multiprocessing
 import typing
 
 from repro.config import AdaptivityConfig, EngineConfig, RESPONSE_R1
@@ -119,6 +120,98 @@ class BaselineCache:
                    spec: DemoGridSpec | None = None) -> float:
         """Response time in paper units (baseline = 1.0)."""
         return result.response_time_ms / self.baseline_ms(query_key, spec)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of an experiment sweep, declared as data.
+
+    ``fn`` must be a module-level callable and ``kwargs`` built from
+    picklable values (primitives, frozen dataclasses), so a cell can
+    cross a ``multiprocessing`` fork boundary unchanged.  Every cell
+    builds its own fresh grids, so cells share no mutable state and
+    can run in any order — the runner still *reports* them in
+    declaration order.
+    """
+
+    label: str
+    fn: typing.Callable[..., typing.Any]
+    kwargs: dict = dataclasses.field(default_factory=dict)
+
+
+def _run_cell(indexed_cell: tuple[int, SweepCell]
+              ) -> tuple[int, typing.Any, list[dict]]:
+    """Execute one cell under a private metrics sink.
+
+    Used verbatim by both the serial and the pooled paths (in a worker
+    process the installed sink is the fork-inherited parent one, which
+    must not be written to), so a sweep's outcome — values and metrics
+    records alike — is independent of ``jobs``.
+    """
+    index, cell = indexed_cell
+    sink = MetricsSink()
+    previous = set_metrics_sink(sink)
+    try:
+        value = cell.fn(**cell.kwargs)
+    finally:
+        set_metrics_sink(previous)
+    return index, value, sink.records
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None where unavailable.
+
+    Fork keeps workers cheap (no re-import, warm dataset caches) and is
+    the only start method that inherits module state without pickling
+    the world; on platforms without it (e.g. Windows) sweeps degrade
+    gracefully to serial execution rather than risking spawn-related
+    import side effects.
+    """
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except (ValueError, AttributeError):  # pragma: no cover - exotic
+        pass
+    return None  # pragma: no cover - non-fork platforms
+
+
+class SweepRunner:
+    """Runs a sweep's cells, optionally over a process pool.
+
+    ``jobs=1`` (the default) preserves the historical strictly-serial
+    behaviour.  With ``jobs>1`` the cells fan out over a ``fork``-based
+    ``multiprocessing.Pool``; results are merged **by cell index**, not
+    completion order, and each cell's metrics records are appended to
+    the ambient :class:`MetricsSink` in that same order — so reports
+    and metrics files are byte-identical whatever ``jobs`` is.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def run(self, cells: typing.Sequence[SweepCell]) -> list:
+        """Execute ``cells``; returns their values in declaration order."""
+        indexed = list(enumerate(cells))
+        jobs = min(self.jobs, len(indexed))
+        context = _fork_context() if jobs > 1 else None
+        if context is None:
+            outcomes = [_run_cell(item) for item in indexed]
+        else:
+            with context.Pool(processes=jobs) as pool:
+                outcomes = sorted(pool.imap_unordered(_run_cell, indexed))
+        sink = _metrics_sink
+        values = []
+        for _index, value, records in outcomes:
+            if sink is not None:
+                sink.records.extend(records)
+            values.append(value)
+        return values
+
+
+def baseline_cell(query_key: str, spec: DemoGridSpec | None = None) -> float:
+    """Sweep cell: the no-adaptivity/no-imbalance response time (ms)."""
+    result = execute(query_key, AdaptivityConfig.disabled(), spec=spec)
+    return result.response_time_ms
 
 
 @dataclasses.dataclass

@@ -12,7 +12,12 @@ machines through the fair-share capacity model.
 from __future__ import annotations
 
 from repro.config import AdaptivityConfig, SchedulerConfig
-from repro.experiments.harness import ExperimentReport, collect_metrics
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+    collect_metrics,
+)
 from repro.sched import WorkloadDriver, WorkloadSpec
 from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
 
@@ -50,18 +55,30 @@ def drive(arrival_rate_qps: float, max_concurrent: int,
     return report
 
 
-def run() -> ExperimentReport:
-    rows = []
-    for max_concurrent in CONCURRENCY_LIMITS:
-        for rate in ARRIVAL_RATES_QPS:
-            report = drive(rate, max_concurrent)
-            rows.append([
-                max_concurrent, rate, report.offered, report.rejected,
-                round(report.throughput_qps, 2),
-                round(report.queue_wait_p95_ms / 1000.0, 2),
-                round(report.response_p50_ms / 1000.0, 2),
-                round(report.response_p95_ms / 1000.0, 2),
-            ])
+def _load_cell(arrival_rate_qps: float, max_concurrent: int) -> list:
+    """One open-loop run, reduced to its report row."""
+    report = drive(arrival_rate_qps, max_concurrent)
+    return [
+        max_concurrent, arrival_rate_qps, report.offered, report.rejected,
+        round(report.throughput_qps, 2),
+        round(report.queue_wait_p95_ms / 1000.0, 2),
+        round(report.response_p50_ms / 1000.0, 2),
+        round(report.response_p95_ms / 1000.0, 2),
+    ]
+
+
+def cells() -> list[SweepCell]:
+    return [
+        SweepCell(f"mq:c{max_concurrent}:r{rate:g}", _load_cell,
+                  {"arrival_rate_qps": rate,
+                   "max_concurrent": max_concurrent})
+        for max_concurrent in CONCURRENCY_LIMITS
+        for rate in ARRIVAL_RATES_QPS
+    ]
+
+
+def run(jobs: int = 1) -> ExperimentReport:
+    rows = SweepRunner(jobs).run(cells())
     return ExperimentReport(
         experiment_id="multiquery",
         title="Scheduler throughput/latency vs offered load "

@@ -26,8 +26,11 @@ from repro.workloads.scenarios import perturb_transient_load, perturb_ws_cost
 M1_INTERVALS = (0, 10, 20, 30)
 
 
-def run_overheads() -> ExperimentReport:
+def run_overheads(jobs: int = 1) -> ExperimentReport:
     """Unperturbed Q1: adaptivity overhead and final tuple ratio.
+
+    ``jobs`` is accepted for CLI uniformity and ignored: the sweep's
+    runs share one BaselineCache and stay serial.
 
     Two variants per response type: a perfectly stable environment
     (no redistribution ever triggers) and one with per-call noise,
@@ -60,8 +63,11 @@ def run_overheads() -> ExperimentReport:
                "nominally equal, as in the paper's real testbed."))
 
 
-def run_monitoring_frequency() -> ExperimentReport:
-    """Q1 with 10x perturbation under different monitoring rates."""
+def run_monitoring_frequency(jobs: int = 1) -> ExperimentReport:
+    """Q1 with 10x perturbation under different monitoring rates.
+
+    ``jobs`` is accepted for CLI uniformity and ignored (serial sweep).
+    """
     baselines = BaselineCache()
     perturb = functools.partial(perturb_ws_cost, factor=10.0)
     rows = []

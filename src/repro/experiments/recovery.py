@@ -31,8 +31,11 @@ def _run(fail_at_ms: float | None):
     return grid.run(Q1, AdaptivityConfig.disabled())
 
 
-def run() -> ExperimentReport:
-    """Failure-time sweep for Q1 (extension; not a paper artefact)."""
+def run(jobs: int = 1) -> ExperimentReport:
+    """Failure-time sweep for Q1 (extension; not a paper artefact).
+
+    ``jobs`` is accepted for CLI uniformity and ignored (serial sweep).
+    """
     baseline = _run(None)
     baseline_ms = baseline.response_time_ms
     rows = []

@@ -6,6 +6,10 @@ configurations: {no adaptivity, adaptivity} x {no imbalance,
 imbalance}.  The Q1 imbalance makes one WS call 10x costlier; the Q2
 imbalance inserts a 10 ms sleep before each join tuple on one machine.
 All values are normalised to the no-ad/no-imb run of the same query.
+
+The table is declared as :class:`SweepCell` data — one baseline cell
+per query plus three measured cells per table row — for the parallel
+sweep runner.
 """
 
 from __future__ import annotations
@@ -13,7 +17,13 @@ from __future__ import annotations
 import functools
 
 from repro.config import AdaptivityConfig, RESPONSE_R1, RESPONSE_R2
-from repro.experiments.harness import BaselineCache, ExperimentReport, execute
+from repro.experiments.harness import (
+    ExperimentReport,
+    SweepCell,
+    SweepRunner,
+    baseline_cell,
+    execute,
+)
 from repro.workloads.scenarios import perturb_join_sleep, perturb_ws_cost
 
 #: The paper's reported values, for side-by-side comparison.
@@ -23,6 +33,10 @@ PAPER_VALUES = {
     ("Q2", RESPONSE_R1): (1.0, 1.11, 1.71, 1.31),
 }
 
+#: The (query, response policy) combinations of the table's rows.
+CONFIGURATIONS = (("Q1", RESPONSE_R2), ("Q1", RESPONSE_R1),
+                  ("Q2", RESPONSE_R1))
+
 
 def _perturb_for(query_key: str):
     if query_key == "Q1":
@@ -30,25 +44,48 @@ def _perturb_for(query_key: str):
     return functools.partial(perturb_join_sleep, sleep_ms=10.0)
 
 
-def run() -> ExperimentReport:
+def _table1_cell(query_key: str, response: str, adaptive: bool,
+                 imbalance: bool) -> float:
+    """One Table 1 run."""
+    adaptivity = (AdaptivityConfig(response=response) if adaptive
+                  else AdaptivityConfig.disabled())
+    perturb = _perturb_for(query_key) if imbalance else None
+    result = execute(query_key, adaptivity, perturb=perturb)
+    return result.response_time_ms
+
+
+def cells() -> list[SweepCell]:
+    sweep = [
+        SweepCell("Q1:baseline", baseline_cell, {"query_key": "Q1"}),
+        SweepCell("Q2:baseline", baseline_cell, {"query_key": "Q2"}),
+    ]
+    for query_key, response in CONFIGURATIONS:
+        for adaptive, imbalance in ((True, False), (False, True),
+                                    (True, True)):
+            sweep.append(SweepCell(
+                f"{query_key}:{response}:"
+                f"{'ad' if adaptive else 'no-ad'}/"
+                f"{'imb' if imbalance else 'no-imb'}",
+                _table1_cell,
+                {"query_key": query_key, "response": response,
+                 "adaptive": adaptive, "imbalance": imbalance}))
+    return sweep
+
+
+def run(jobs: int = 1) -> ExperimentReport:
     """Reproduce Table 1."""
-    baselines = BaselineCache()
+    values = SweepRunner(jobs).run(cells())
+    baselines = {"Q1": values[0], "Q2": values[1]}
+    points = iter(values[2:])
     rows = []
-    for query_key, response in (("Q1", RESPONSE_R2), ("Q1", RESPONSE_R1),
-                                ("Q2", RESPONSE_R1)):
-        adaptivity = AdaptivityConfig(response=response)
-        perturb = _perturb_for(query_key)
-        no_ad_no_imb = 1.0
-        ad_no_imb = baselines.normalised(
-            execute(query_key, adaptivity), query_key)
-        no_ad_imb = baselines.normalised(
-            execute(query_key, AdaptivityConfig.disabled(),
-                    perturb=perturb), query_key)
-        ad_imb = baselines.normalised(
-            execute(query_key, adaptivity, perturb=perturb), query_key)
+    for query_key, response in CONFIGURATIONS:
+        baseline_ms = baselines[query_key]
+        ad_no_imb = next(points) / baseline_ms
+        no_ad_imb = next(points) / baseline_ms
+        ad_imb = next(points) / baseline_ms
         paper = PAPER_VALUES[(query_key, response)]
         rows.append([f"{query_key} - {response}",
-                     no_ad_no_imb, ad_no_imb, no_ad_imb, ad_imb,
+                     1.0, ad_no_imb, no_ad_imb, ad_imb,
                      f"{paper[1]:.2f}/{paper[2]:.2f}/{paper[3]:.2f}"])
     return ExperimentReport(
         experiment_id="table1",

@@ -154,11 +154,13 @@ class Machine:
         each tuple".
         """
         started = self.env.now
-        effect = self.effect_of(label, work)
-        if effect.blocking_delay > 0:
-            yield self.env.timeout(effect.blocking_delay)
-        if effect.cpu_work > 0:
-            yield self.cpu.execute(effect.cpu_work, label=label)
+        if self.perturbations:
+            effect = self.effect_of(label, work)
+            if effect.blocking_delay > 0:
+                yield self.env.timeout(effect.blocking_delay)
+            work = effect.cpu_work
+        if work > 0:
+            yield self.cpu.execute(work, label=label)
         return self.env.now - started
 
     def work_batch(self, label: str, work_per_item: float, count: int
@@ -172,16 +174,33 @@ class Machine:
         charged as a single timeout plus a single CPU task — one or two
         simulator events per batch instead of per tuple.  ``count=1``
         is exactly :meth:`work`.
+
+        The matching-perturbation set is hoisted out of the item loop:
+        the loop contains no yield, so ``env.now`` — the only input to
+        ``matches`` besides the label — cannot change mid-batch.  With
+        no match the per-item accumulation degenerates to repeated
+        addition of ``work_per_item``; the repeated add is kept (rather
+        than one multiply) so the summed float is bit-identical to the
+        per-item effect loop.
         """
         if count <= 0:
             return 0.0
         started = self.env.now
+        active = [perturbation for perturbation in self.perturbations
+                  if perturbation.matches(label, started)]
         total_cpu = 0.0
         total_delay = 0.0
-        for _ in range(count):
-            effect = self.effect_of(label, work_per_item)
-            total_cpu += effect.cpu_work
-            total_delay += effect.blocking_delay
+        if active:
+            rng = self._rng
+            for _ in range(count):
+                effect = WorkEffect(cpu_work=work_per_item)
+                for perturbation in active:
+                    effect = perturbation.apply(effect, rng)
+                total_cpu += effect.cpu_work
+                total_delay += effect.blocking_delay
+        else:
+            for _ in range(count):
+                total_cpu += work_per_item
         if total_delay > 0:
             yield self.env.timeout(total_delay)
         if total_cpu > 0:

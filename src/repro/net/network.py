@@ -103,11 +103,12 @@ class Network:
     def link_between(self, src_machine: str, dst_machine: str) -> Link:
         """The (lazily created) link for an ordered machine pair."""
         key = (src_machine, dst_machine)
-        if key not in self._links:
-            self._links[key] = Link(
+        link = self._links.get(key)
+        if link is None:
+            link = self._links[key] = Link(
                 self.env, self.config.latency_ms,
                 self.config.bandwidth_bytes_per_ms)
-        return self._links[key]
+        return link
 
     # -- sending ----------------------------------------------------------
 

@@ -135,6 +135,11 @@ class AllOf(Event):
     The value is the list of child values in construction order.  If any
     child fails, this event fails with that child's exception (first
     failure wins).
+
+    An **empty** sequence succeeds immediately with ``[]`` — the
+    conjunction of no conditions is vacuously true, so barrier-style
+    code (``yield env.all_of(acks)``) needs no special case when a
+    batch produced nothing to wait for.
     """
 
     __slots__ = ("_children", "_pending")
@@ -166,6 +171,11 @@ class AnyOf(Event):
 
     The value is a ``(event, value)`` pair identifying the winner.  A
     failing child fails this event.
+
+    An **empty** sequence is a :class:`~repro.errors.SimulationError`:
+    a race with no contestants can never produce a winner, so waiting
+    on one would deadlock the process — better to fail loudly at
+    construction time.
     """
 
     __slots__ = ("_children",)
@@ -175,7 +185,9 @@ class AnyOf(Event):
         super().__init__(env)
         self._children = list(events)
         if not self._children:
-            raise SimulationError("AnyOf needs at least one event")
+            raise SimulationError(
+                "AnyOf needs at least one event: an empty race has no "
+                "winner and would wait forever")
         for child in self._children:
             _observe(child, self._on_child)
 

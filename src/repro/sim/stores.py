@@ -154,16 +154,24 @@ class Store:
         return removed
 
     def _settle(self) -> None:
-        """Match buffered items with getters and admit blocked putters."""
+        """Match buffered items with getters and admit blocked putters.
+
+        Hot path: bursts of puts/gets settle at one timestamp, so the
+        loop binds its deques locally and exits without re-scanning
+        when a pass makes no progress.
+        """
+        items = self.items
+        putters = self._putters
+        getters = self._getters
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.popleft()
-                self.items.append(put.item)
+            while putters and len(items) < capacity:
+                put = putters.popleft()
+                items.append(put.item)
                 put.succeed(None)
                 progressed = True
-            while self._getters and self.items:
-                get = self._getters.popleft()
-                get.succeed(self.items.popleft())
+            while getters and items:
+                getters.popleft().succeed(items.popleft())
                 progressed = True

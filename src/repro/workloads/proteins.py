@@ -13,6 +13,7 @@ GDQS.  Cost constants live in :mod:`repro.workloads.scenarios`.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 
 from repro.config import (
@@ -43,6 +44,41 @@ DATA_HOST = "data-host"
 
 def compute_machine_name(index: int) -> str:
     return f"compute-{index + 1}"
+
+
+#: Generated demo relations keyed by the spec fields they depend on.
+#: The tables are a pure function of (seed, shape) and are read-only
+#: once built (scans slice ``relation.rows``; operators emit fresh
+#: Row objects), so identical grids share one copy: regeneration —
+#: hundreds of thousands of RNG draws for the default 3000x256
+#: sequence table — dominated grid construction in the perf profile.
+_DATASET_CACHE: collections.OrderedDict = collections.OrderedDict()
+_DATASET_CACHE_LIMIT = 8
+
+
+def _demo_relations(context, spec: "DemoGridSpec"):
+    """The (sequences, interactions) tables for ``spec``, cached.
+
+    The "protein-data" random stream is consumed *only* here, and
+    :class:`~repro.sim.rand.RandomStreams` derives every named stream
+    independently from the seed, so serving a cached copy (and never
+    touching the stream) is indistinguishable from regenerating.
+    """
+    key = (spec.seed, spec.sequences_cardinality,
+           spec.interactions_cardinality, spec.sequence_length)
+    cached = _DATASET_CACHE.get(key)
+    if cached is not None:
+        _DATASET_CACHE.move_to_end(key)
+        return cached
+    rng = context.random.stream("protein-data")
+    sequences = generate_protein_sequences(
+        rng, spec.sequences_cardinality, spec.sequence_length)
+    interactions = generate_protein_interactions(
+        rng, sequences, spec.interactions_cardinality)
+    _DATASET_CACHE[key] = (sequences, interactions)
+    while len(_DATASET_CACHE) > _DATASET_CACHE_LIMIT:
+        _DATASET_CACHE.popitem(last=False)
+    return sequences, interactions
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +117,7 @@ class DemoGrid:
             network_config=network_config,
             serialization=serialization or SerializationModel(),
             metrics_enabled=metrics_enabled)
+        self.context.env.fast_path = self.engine_config.kernel_fast_path
         self.context.add_machine(COORDINATOR, compute=False)
         self.context.add_machine(DATA_HOST, compute=False)
         self.compute_machines = [
@@ -93,11 +130,7 @@ class DemoGrid:
         for name in self.spare_machines:
             self.context.add_machine(name, compute=False, spare=True)
 
-        rng = self.context.random.stream("protein-data")
-        sequences = generate_protein_sequences(
-            rng, self.spec.sequences_cardinality, self.spec.sequence_length)
-        interactions = generate_protein_interactions(
-            rng, sequences, self.spec.interactions_cardinality)
+        sequences, interactions = _demo_relations(self.context, self.spec)
         self.gds_map = {
             "protein_sequences": GridDataService(
                 self.context, DATA_HOST, sequences,

@@ -1,0 +1,111 @@
+"""Property tests: the kernel fast path is bit-invisible.
+
+``EngineConfig.kernel_fast_path`` enables three host-side disciplines
+in the DES kernel — resume-event pooling, inline resume of
+already-processed targets, and same-timestamp coalescing of normal
+priority events.  All three are pure allocation/dispatch
+optimisations: with the fast path on, the rows, the full traced
+timeline, the simulated response time and the ``events_scheduled``
+counter must be *bit-identical* to the legacy kernel, for every query,
+policy and perturbation.
+
+This is a stronger contract than batch equivalence (which only
+guarantees decision-level equality): the fast path never changes the
+order in which events fire, so every trace entry matches exactly.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import AdaptivityConfig, EngineConfig
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+    perturb_ws_cost_varying,
+)
+
+SPEC = DemoGridSpec(sequences_cardinality=150, interactions_cardinality=220,
+                    sequence_length=24,
+                    seed=int(os.environ.get("REPRO_TEST_SEED", "0")))
+
+slow_settings = settings(max_examples=8, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+policies = st.sampled_from([
+    AdaptivityConfig.disabled(),
+    AdaptivityConfig(assessment="A1", response="R2"),
+    AdaptivityConfig(assessment="A1", response="R1"),
+    AdaptivityConfig(assessment="A2", response="R2",
+                     decision_latency_ms=100.0),
+])
+
+
+def run_once(query_text, fast_path, adaptivity, perturb=None,
+             batch_size=8):
+    grid = DemoGrid(SPEC, engine_config=EngineConfig(
+        batch_size=batch_size, kernel_fast_path=fast_path))
+    if perturb is not None:
+        perturb(grid)
+    result = grid.run(query_text, adaptivity)
+    timeline = [(event.timestamp, event.category, event.source,
+                 event.description)
+                for event in grid.context.tracer.events]
+    return {
+        "rows": [repr(row) for row in result.rows],
+        "response_time_ms": result.response_time_ms,
+        "events_scheduled": grid.context.env.events_scheduled,
+        "timeline": timeline,
+    }
+
+
+def assert_bit_identical(fast, legacy):
+    assert fast["rows"] == legacy["rows"]
+    assert fast["response_time_ms"] == legacy["response_time_ms"]
+    assert fast["events_scheduled"] == legacy["events_scheduled"]
+    assert fast["timeline"] == legacy["timeline"]
+
+
+@given(config=policies, factor=st.sampled_from([1.0, 5.0, 10.0, 25.0]))
+@slow_settings
+def test_q1_fast_path_bit_identical(config, factor):
+    def perturb(g):
+        perturb_ws_cost(g, factor)
+    fast = run_once(Q1, True, config, perturb=perturb)
+    legacy = run_once(Q1, False, config, perturb=perturb)
+    assert_bit_identical(fast, legacy)
+
+
+@given(config=policies, sleep_ms=st.sampled_from([0.0, 6.0, 30.0]))
+@slow_settings
+def test_q2_fast_path_bit_identical(config, sleep_ms):
+    def perturb(g):
+        if sleep_ms:
+            perturb_join_sleep(g, sleep_ms)
+    fast = run_once(Q2, True, config, perturb=perturb)
+    legacy = run_once(Q2, False, config, perturb=perturb)
+    assert_bit_identical(fast, legacy)
+
+
+@given(low=st.floats(min_value=2.0, max_value=8.0),
+       spread=st.floats(min_value=1.0, max_value=25.0),
+       batch_size=st.sampled_from([1, 32]))
+@slow_settings
+def test_q1_fast_path_bit_identical_under_stochastic_perturbation(
+        low, spread, batch_size):
+    # Per-tuple random cost factors draw from the grid's seeded RNG;
+    # the fast path must not perturb the draw order either.
+    config = AdaptivityConfig(response="R2", decision_latency_ms=50.0)
+
+    def perturb(g):
+        perturb_ws_cost_varying(g, low, low + spread)
+    fast = run_once(Q1, True, config, perturb=perturb,
+                    batch_size=batch_size)
+    legacy = run_once(Q1, False, config, perturb=perturb,
+                      batch_size=batch_size)
+    assert_bit_identical(fast, legacy)
