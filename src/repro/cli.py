@@ -30,6 +30,7 @@ from repro.config import (
     SchedulerConfig,
 )
 from repro.errors import ConfigurationError
+from repro.policy import default_registry
 from repro.sched import WorkloadDriver, WorkloadSpec
 from repro.telemetry import format_timeline
 from repro.workloads import (
@@ -70,10 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 16)")
     parser.add_argument("--static", action="store_true",
                         help="disable adaptivity (the static system)")
+    parser.add_argument("--policy", choices=default_registry().names(),
+                        default=None, metavar="NAME",
+                        help="adaptation policy by name (overrides "
+                             "--assessment/--response; one of: "
+                             + ", ".join(default_registry().names()) + ")")
     parser.add_argument("--response", choices=["R1", "R2"], default="R2",
-                        help="response policy (default R2, prospective)")
+                        help="response policy (default R2, prospective); "
+                             "alias for --policy paper-<A><R>")
     parser.add_argument("--assessment", choices=["A1", "A2"], default="A1",
-                        help="assessment policy (default A1)")
+                        help="assessment policy (default A1); alias for "
+                             "--policy paper-<A><R>")
     parser.add_argument("--machines", type=int, default=2,
                         help="compute machines (default 2)")
     parser.add_argument("--degree", type=int, default=None,
@@ -288,7 +296,8 @@ def _run(parser: argparse.ArgumentParser,
     if args.static:
         adaptivity = AdaptivityConfig.disabled()
     else:
-        adaptivity = AdaptivityConfig(response=args.response,
+        adaptivity = AdaptivityConfig(policy=args.policy,
+                                      response=args.response,
                                       assessment=args.assessment)
     if args.workload is not None:
         return run_workload(args, grid, adaptivity)
@@ -304,8 +313,8 @@ def _run(parser: argparse.ArgumentParser,
     if stats.result_count > args.rows:
         print(f"  ... {stats.result_count - args.rows} more")
     print(f"adaptations: {stats.adaptations_accepted} accepted / "
-          f"{stats.proposals_sent} proposed; tuples per machine: "
-          f"{stats.tuples_per_consumer}")
+          f"{stats.proposals_sent} proposed ({stats.policy}); "
+          f"tuples per machine: {stats.tuples_per_consumer}")
     if stats.machines_recovered:
         print(f"failures recovered: {stats.machines_recovered} "
               f"({stats.tuples_replayed_for_recovery} tuples replayed)")

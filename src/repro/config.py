@@ -10,6 +10,7 @@ values and thresholds are configurable for any component" — as here.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.errors import ConfigurationError
 
@@ -26,7 +27,16 @@ RESPONSE_R2 = "R2"
 
 @dataclasses.dataclass(frozen=True)
 class AdaptivityConfig:
-    """Tuning knobs for the monitor/assess/respond pipeline."""
+    """Tuning knobs for the monitor/assess/respond pipeline.
+
+    The controller itself is selected by ``policy`` — any name in
+    :func:`repro.policy.default_registry` — with per-policy tunables
+    in ``policy_params``.  The paper's four variants keep their legacy
+    spelling: leaving ``policy`` unset resolves it from the
+    ``assessment``/``response`` axes (``paper-{assessment}{response}``),
+    while naming a paper policy explicitly forces both axes to the
+    name's pair (the name is authoritative).
+    """
 
     #: Master switch; False reproduces the static OGSA-DQP system.
     enabled: bool = True
@@ -53,6 +63,13 @@ class AdaptivityConfig:
     assessment: str = ASSESSMENT_A1
     #: Response policy: R1 (retrospective) or R2 (prospective).
     response: str = RESPONSE_R2
+    #: Adaptation-policy name (see :mod:`repro.policy`); None resolves
+    #: to the paper variant the assessment/response axes select.
+    policy: str | None = None
+    #: Per-policy tunables as ``(name, value)`` pairs (kept as a tuple
+    #: so the config stays hashable); a mapping is accepted and
+    #: normalised at construction.
+    policy_params: tuple = ()
     #: The responder skips adaptations once the producers report this
     #: fraction of tuples already distributed (progress estimation [7]).
     progress_cutoff: float = 0.92
@@ -66,12 +83,39 @@ class AdaptivityConfig:
     hash_buckets: int = 256
 
     def __post_init__(self) -> None:
-        if self.assessment not in (ASSESSMENT_A1, ASSESSMENT_A2):
+        # Registry-backed policy validation.  Imported lazily: the
+        # policy package imports this module's constants at load time,
+        # but validation only runs when a config is instantiated, by
+        # which point both modules exist.
+        from repro.policy import default_registry
+        registry = default_registry()
+        if isinstance(self.policy_params, typing.Mapping):
+            object.__setattr__(self, "policy_params",
+                               tuple(sorted(self.policy_params.items())))
+        if self.policy is not None:
+            if self.policy not in registry:
+                raise ConfigurationError(
+                    f"unknown adaptation policy: {self.policy!r} "
+                    f"(registered policies: "
+                    f"{', '.join(registry.names())})")
+            axes = registry.paper_axes(self.policy)
+            if axes is not None:
+                # A paper name is authoritative over the legacy axes.
+                object.__setattr__(self, "assessment", axes[0])
+                object.__setattr__(self, "response", axes[1])
+        if self.assessment not in registry.assessments():
             raise ConfigurationError(
-                f"unknown assessment policy: {self.assessment}")
-        if self.response not in (RESPONSE_R1, RESPONSE_R2):
+                f"unknown assessment policy: {self.assessment!r} "
+                f"(valid assessments: "
+                f"{', '.join(registry.assessments())}; registered "
+                f"policies: {', '.join(registry.names())})")
+        if self.response not in registry.responses():
             raise ConfigurationError(
-                f"unknown response policy: {self.response}")
+                f"unknown response policy: {self.response!r} "
+                f"(valid responses: {', '.join(registry.responses())}; "
+                f"registered policies: {', '.join(registry.names())})")
+        registry.validate_params(self.policy_name,
+                                 dict(self.policy_params))
         if self.m1_interval < 0:
             raise ConfigurationError(
                 f"m1_interval must be >= 0: {self.m1_interval}")
@@ -99,6 +143,17 @@ class AdaptivityConfig:
     def retrospective(self) -> bool:
         """True when the response policy recreates state (R1)."""
         return self.response == RESPONSE_R1
+
+    @property
+    def policy_name(self) -> str:
+        """The registry name this config resolves to."""
+        if self.policy is not None:
+            return self.policy
+        return f"paper-{self.assessment}{self.response}"
+
+    def params(self) -> dict:
+        """``policy_params`` as a plain dict."""
+        return dict(self.policy_params)
 
     def replace(self, **changes) -> "AdaptivityConfig":
         """A copy with some fields changed."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.config import ASSESSMENT_A2, AdaptivityConfig, CostModel
+from repro.config import AdaptivityConfig, CostModel
 from repro.core.notifications import (
     CostNotification,
     ImbalanceProposal,
@@ -32,12 +32,9 @@ from repro.core.notifications import (
     TOPIC_WEIGHTS,
     WeightsInstalled,
 )
-from repro.engine.distribution import (
-    inverse_cost_weights,
-    max_relative_change,
-    normalise_weights,
-)
+from repro.engine.distribution import normalise_weights
 from repro.grid.container import GridContext
+from repro.policy import AdaptationPolicy, create_policy
 from repro.services.base import GridService
 from repro.services.pubsub import NotificationPublisher
 
@@ -76,18 +73,21 @@ class Diagnoser(GridService, NotificationPublisher):
     def __init__(self, context: GridContext, machine_name: str,
                  config: AdaptivityConfig, cost: CostModel,
                  tasks: typing.Sequence[BalancingTask],
-                 query_id: str = "q") -> None:
+                 query_id: str = "q",
+                 policy: AdaptationPolicy | None = None) -> None:
         GridService.__init__(self, context, f"diagnoser:{query_id}",
                              machine_name)
         NotificationPublisher.__init__(self)
         self.config = config
         self.cost = cost
+        #: The controller that observes costs and proposes vectors;
+        #: shared with the query's detectors and Responder when
+        #: deployed together.
+        self.policy = policy if policy is not None else create_policy(config)
         self.tasks = {task.subplan_id: task for task in tasks}
         self._weights: dict[str, list[float]] = {
             task.subplan_id: list(normalise_weights(task.initial_weights))
             for task in tasks}
-        self._m1_cost: dict[str, float] = {}
-        self._m2_cost: dict[str, float] = {}
         self._task_of_instance: dict[str, BalancingTask] = {}
         self._task_of_channel: dict[str, BalancingTask] = {}
         for task in tasks:
@@ -101,13 +101,16 @@ class Diagnoser(GridService, NotificationPublisher):
         self.query_id = query_id
         metrics = context.metrics
         self._metric_notifications = metrics.counter(
-            "diagnoser_notifications_received", query=query_id)
+            "diagnoser_notifications_received", query=query_id,
+            policy=self.policy.name)
         self._metric_proposals = metrics.counter(
-            "diagnoser_proposals_sent", query=query_id)
+            "diagnoser_proposals_sent", query=query_id,
+            policy=self.policy.name)
         #: Detector-timestamp to assessment latency of every cost
         #: notification (the monitoring leg of the control loop).
         self._metric_latency = metrics.histogram(
-            "detection_latency_ms", query=query_id)
+            "detection_latency_ms", query=query_id,
+            policy=self.policy.name)
 
     def current_weights(self, subplan_id: str) -> list[float]:
         return list(self._weights[subplan_id])
@@ -128,53 +131,29 @@ class Diagnoser(GridService, NotificationPublisher):
         task: BalancingTask | None = None
         if notification.kind == "m1":
             task = self._task_of_instance.get(notification.instance_id)
-            if task is not None:
-                self._m1_cost[notification.instance_id] = (
-                    notification.average_value)
         elif notification.kind == "m2":
             task = self._task_of_channel.get(notification.recipient_channel)
-            if task is not None:
-                self._m2_cost[notification.recipient_channel] = (
-                    notification.average_value)
         if task is not None:
+            self.policy.observe(notification, task)
             self._assess(task)
 
     def _on_weights_installed(self, installed: WeightsInstalled) -> None:
         if installed.subplan_id in self._weights:
             self._weights[installed.subplan_id] = list(installed.weights)
+            self.policy.on_weights_installed(installed.subplan_id,
+                                             installed.weights)
 
     def instance_cost(self, task: BalancingTask,
                       instance_id: str) -> float | None:
-        """The assessed per-tuple cost c(p_i), or None if unknown.
-
-        Degenerate (non-positive) measurements are treated as unknown:
-        a zero cost would make the inverse-proportional vector put all
-        load on one instance on the strength of a broken sample.
-        """
-        processing = self._m1_cost.get(instance_id)
-        if processing is None or processing <= 0:
-            return None
-        total = processing
-        if self.config.assessment == ASSESSMENT_A2:
-            for channel in task.instance_channels.get(instance_id, ()):
-                if channel in task.co_located_channels:
-                    continue
-                communication = self._m2_cost.get(channel)
-                if communication is not None:
-                    total += communication
-        return max(total, 1e-9)
+        """The policy's assessed per-tuple cost c(p_i), or None."""
+        return self.policy.instance_cost(task, instance_id)
 
     def _assess(self, task: BalancingTask) -> None:
-        costs = []
-        for instance_id in task.instance_ids:
-            cost = self.instance_cost(task, instance_id)
-            if cost is None:
-                return  # not enough information yet
-            costs.append(cost)
-        proposed = inverse_cost_weights(costs)
         current = self._weights[task.subplan_id]
-        if max_relative_change(current, proposed) <= self.config.thres_a:
-            return
+        outcome = self.policy.diagnose(task, current, self.env.now)
+        if outcome is None:
+            return  # not enough information, or not worth proposing
+        proposed, costs = outcome
         proposal = ImbalanceProposal(
             subplan_id=task.subplan_id,
             current_weights=tuple(current),

@@ -31,6 +31,7 @@ from repro.core.notifications import (
     TOPIC_COST,
 )
 from repro.grid.container import GridContext
+from repro.policy import AdaptationPolicy, create_policy
 from repro.services.base import GridService
 from repro.services.pubsub import NotificationPublisher
 
@@ -54,13 +55,17 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
 
     def __init__(self, context: GridContext, machine_name: str,
                  config: AdaptivityConfig, cost: CostModel,
-                 query_id: str = "q") -> None:
+                 query_id: str = "q",
+                 policy: AdaptationPolicy | None = None) -> None:
         GridService.__init__(self, context,
                              f"detector:{query_id}:{machine_name}",
                              machine_name)
         NotificationPublisher.__init__(self)
         self.config = config
         self.cost = cost
+        #: The adaptation policy owning the (re-)notification gate;
+        #: shared with the query's Diagnoser/Responder when deployed.
+        self.policy = policy if policy is not None else create_policy(config)
         self.query_id = query_id
         self._windows: dict[str, collections.deque] = {}
         self._last_notified: dict[str, float] = {}
@@ -73,7 +78,8 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
         self._metric_raw_m2 = metrics.counter(
             "detector_raw_events", query=query_id, kind="m2")
         self._metric_notifications = metrics.counter(
-            "detector_notifications_sent", query=query_id)
+            "detector_notifications_sent", query=query_id,
+            policy=self.policy.name)
 
     # -- raw event intake (local calls from the engine) ---------------------
 
@@ -160,16 +166,11 @@ class MonitoringEventDetector(GridService, NotificationPublisher):
             return
         average = trimmed_average(list(window))
         last = self._last_notified.get(key)
-        if last is not None:
-            if last > 0:
-                if abs(average - last) / last < self.config.thres_m:
-                    return
-            # A relative gate is undefined against a zero baseline
-            # (e.g. a co-located channel whose send cost is zero):
-            # fall back to an absolute floor so tiny wobbles above
-            # zero do not re-notify on every buffer.
-            elif abs(average - last) <= self.config.thres_m_floor:
-                return
+        # The (re-)notification threshold is policy-owned (the paper
+        # instance applies thres_m with the thres_m_floor fallback
+        # against a zero baseline).
+        if not self.policy.notification_gate(last, average):
+            return
         self._last_notified[key] = average
         self._emit(key, average, len(window))
 

@@ -24,12 +24,13 @@ from repro.core.notifications import (
 )
 from repro.engine.control import DistributionUpdate
 from repro.engine.distribution import (
-    max_relative_change,
     normalise_weights,
     rebalance_buckets,
 )
 from repro.errors import ServiceError
 from repro.grid.container import GridContext
+from repro.policy import AdaptationPolicy, create_policy
+from repro.policy.base import SKIP
 from repro.services.base import GridService
 from repro.services.pubsub import NotificationPublisher
 
@@ -52,6 +53,9 @@ class _SubplanState:
         self.epoch = 0
         self.last_adaptation: float | None = None
         self.busy = False
+        #: Weight delta of the last policy-driven adaptation, kept to
+        #: measure oscillation (mass moved one way then reversed).
+        self.prev_delta: list | None = None
         # Per-instance quarantine flags (suspect clones, w_i -> 0) and
         # the weights to restore shares from at reintegration.
         self.quarantined = [False] * len(self.weights)
@@ -64,12 +68,16 @@ class Responder(GridService, NotificationPublisher):
     def __init__(self, context: GridContext, machine_name: str,
                  config: AdaptivityConfig, cost: CostModel,
                  tasks: typing.Sequence[BalancingTask],
-                 query_id: str = "q") -> None:
+                 query_id: str = "q",
+                 policy: AdaptationPolicy | None = None) -> None:
         GridService.__init__(self, context, f"responder:{query_id}",
                              machine_name)
         NotificationPublisher.__init__(self)
         self.config = config
         self.cost = cost
+        #: The controller whose verdicts gate deployments; shared with
+        #: the query's detectors and Diagnoser when deployed together.
+        self.policy = policy if policy is not None else create_policy(config)
         self._state = {task.subplan_id: _SubplanState(task)
                        for task in tasks}
         self.proposals_received = 0
@@ -80,31 +88,57 @@ class Responder(GridService, NotificationPublisher):
         self.skipped_below_threshold = 0
         self.skipped_unreachable = 0
         self.skipped_quarantined = 0
+        self.skipped_degenerate_progress = 0
         self.quarantines = 0
         self.reintegrations = 0
+        #: Total oscillation: workload mass moved by one adaptation and
+        #: moved back by a later one (sum over sign-reversed weight
+        #: deltas).  Quarantine/reintegration moves are excluded — they
+        #: are reactions to faults, not controller churn.
+        self.oscillation = 0.0
         self.query_id = query_id
         metrics = context.metrics
         self._metric_proposals = metrics.counter(
-            "responder_proposals_received", query=query_id)
+            "responder_proposals_received", query=query_id,
+            policy=self.policy.name)
         self._metric_adaptations = metrics.counter(
-            "responder_adaptations_accepted", query=query_id)
+            "responder_adaptations_accepted", query=query_id,
+            policy=self.policy.name)
         self._metric_skips = {
             reason: metrics.counter("responder_skips", query=query_id,
-                                    reason=reason)
+                                    reason=reason, policy=self.policy.name)
             for reason in ("busy", "cooldown", "near_completion",
                            "below_threshold", "unreachable",
-                           "quarantined")}
+                           "quarantined", "degenerate_progress")}
         self._metric_quarantines = metrics.counter(
-            "responder_quarantines", query=query_id)
+            "responder_quarantines", query=query_id,
+            policy=self.policy.name)
         self._metric_reintegrations = metrics.counter(
-            "responder_reintegrations", query=query_id)
+            "responder_reintegrations", query=query_id,
+            policy=self.policy.name)
         #: Proposal-timestamp to installed-weights latency of each
         #: accepted adaptation (the response leg of the control loop).
         self._metric_latency = metrics.histogram(
-            "adaptation_latency_ms", query=query_id)
+            "adaptation_latency_ms", query=query_id,
+            policy=self.policy.name)
+        self._metric_oscillation = metrics.gauge(
+            "adaptivity_oscillation", query=query_id,
+            policy=self.policy.name)
         #: Deadline for control calls so a crashed peer cannot hang an
         #: adaptation forever.
         self.call_timeout_ms = 10_000.0
+
+    def _count_skip(self, reason: str) -> None:
+        """Bump the per-reason attribute and metric for one skip."""
+        attribute = f"skipped_{reason}"
+        setattr(self, attribute, getattr(self, attribute, 0) + 1)
+        metric = self._metric_skips.get(reason)
+        if metric is None:
+            metric = self.context.metrics.counter(
+                "responder_skips", query=self.query_id, reason=reason,
+                policy=self.policy.name)
+            self._metric_skips[reason] = metric
+        metric.inc()
 
     def replace_endpoint(self, old_endpoint: str, new_endpoint: str) -> None:
         """Failure recovery moved a host: re-point control targets."""
@@ -147,23 +181,26 @@ class Responder(GridService, NotificationPublisher):
     def _decide(self, state: _SubplanState,
                 proposal: ImbalanceProposal) -> typing.Generator:
         now = self.env.now
-        if any(state.quarantined):
+        if any(state.quarantined) and not self.policy.quarantine_aware:
             # The Diagnoser's proposal assumes the full clone set;
             # deploying it would hand work back to a stalled clone.
-            self.skipped_quarantined += 1
-            self._metric_skips["quarantined"].inc()
+            # A quarantine-aware policy zeroes those weights itself and
+            # is allowed through.
+            self._count_skip("quarantined")
             return
-        if (state.last_adaptation is not None
-                and now - state.last_adaptation < self.config.cooldown_ms):
-            self.skipped_cooldown += 1
-            self._metric_skips["cooldown"].inc()
+        # The accept/skip judgement (cooldown, threshold re-check
+        # against our possibly-newer state, and any policy-specific
+        # gating) is policy-owned.
+        verdict = self.policy.decide(state, proposal, now)
+        if verdict.action == SKIP:
+            self._count_skip(verdict.reason or "below_threshold")
             return
-        proposed = list(normalise_weights(proposal.proposed_weights))
-        # The proposal was assessed against the Diagnoser's view of W;
-        # re-check against our (possibly newer) state.
-        if max_relative_change(state.weights, proposed) <= self.config.thres_a:
-            self.skipped_below_threshold += 1
-            self._metric_skips["below_threshold"].inc()
+        proposed = list(verdict.weights)
+        if any(weight > 0 and quarantined for weight, quarantined
+               in zip(proposed, state.quarantined)):
+            # Safety net over the policy: never hand work back to a
+            # quarantined clone, whatever the verdict says.
+            self._count_skip("quarantined")
             return
         # Progress estimation in line with [7]: combine how much input
         # the producers expect overall with how much the subplan's
@@ -190,28 +227,39 @@ class Responder(GridService, NotificationPublisher):
         except ServiceError:
             # A peer is unreachable (likely crashed); abort this
             # adaptation and let failure recovery sort the world out.
-            self.skipped_unreachable += 1
-            self._metric_skips["unreachable"].inc()
+            self._count_skip("unreachable")
             return
-        fraction = (processed_total / estimated_total
-                    if estimated_total > 0 else 1.0)
-        if fraction >= self.config.progress_cutoff:
-            self.skipped_near_completion += 1
-            self._metric_skips["near_completion"].inc()
+        if estimated_total <= 0:
+            # A degenerate estimate says nothing about progress; it
+            # used to masquerade as "near completion" (fraction 1.0).
+            # Count it honestly and leave the run alone — adapting on
+            # zero information risks thrashing a finished subplan.
+            self._count_skip("degenerate_progress")
+            self.context.tracer.record(
+                "response", self.name,
+                "adaptation skipped on degenerate progress estimate",
+                estimated_total=estimated_total)
+            return
+        fraction = processed_total / estimated_total
+        if not self.policy.accept_progress(fraction):
+            self._count_skip("near_completion")
             self.context.tracer.record(
                 "response", self.name, "adaptation skipped near completion",
                 fraction=round(fraction, 3))
             return
+        previous_weights = list(state.weights)
         deployed = yield from self._deploy_weights(
             state, proposed, self.config.retrospective)
         if not deployed:
-            self.skipped_unreachable += 1
-            self._metric_skips["unreachable"].inc()
+            self._count_skip("unreachable")
             return
         state.last_adaptation = now
         self.adaptations_accepted += 1
         self._metric_adaptations.inc()
         self._metric_latency.observe(self.env.now - proposal.timestamp)
+        self._note_oscillation(state, previous_weights, proposed)
+        self.policy.on_adaptation(state.task.subplan_id, tuple(proposed),
+                                  self.env.now)
         self.context.tracer.record(
             "response", self.name, "distribution rebalanced",
             subplan=state.task.subplan_id, epoch=state.epoch,
@@ -222,6 +270,27 @@ class Responder(GridService, NotificationPublisher):
             weights=tuple(proposed),
             epoch=state.epoch,
             timestamp=now))
+
+    def _note_oscillation(self, state: _SubplanState,
+                          previous: list, proposed: list) -> None:
+        """Accumulate reversed workload mass across adaptations.
+
+        For consecutive policy-driven adaptations with deltas ``p``
+        (previous) and ``d`` (current), the oscillation contribution is
+        ``sum(min(|d_i|, |p_i|))`` over components where the sign
+        flipped — workload shifted one way and then shifted back.  A
+        well-damped controller scores near zero however many
+        adaptations it fires.
+        """
+        delta = [new - old for new, old in zip(proposed, previous)]
+        if state.prev_delta is not None:
+            reversed_mass = sum(
+                min(abs(d), abs(p))
+                for d, p in zip(delta, state.prev_delta) if d * p < 0)
+            if reversed_mass > 0:
+                self.oscillation += reversed_mass
+        state.prev_delta = delta
+        self._metric_oscillation.set(self.oscillation)
 
     def _deploy_weights(self, state: _SubplanState, proposed: list,
                         retrospective: bool) -> typing.Generator:
@@ -320,6 +389,11 @@ class Responder(GridService, NotificationPublisher):
                 return
             self.quarantines += 1
             self._metric_quarantines.inc()
+            # A fault-driven move breaks the adaptation sequence for
+            # oscillation purposes; the policy may want to know too.
+            state.prev_delta = None
+            self.policy.on_quarantine(subplan_id, instance_index,
+                                      self.env.now)
             self.context.tracer.record(
                 "response", self.name, "clone quarantined",
                 subplan=subplan_id, instance=instance_index,
@@ -361,6 +435,9 @@ class Responder(GridService, NotificationPublisher):
                 return
             self.reintegrations += 1
             self._metric_reintegrations.inc()
+            state.prev_delta = None
+            self.policy.on_reintegration(subplan_id, instance_index,
+                                         self.env.now)
             if not any(state.quarantined):
                 state.pre_quarantine_weights = None
             self.context.tracer.record(

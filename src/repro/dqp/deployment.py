@@ -46,6 +46,7 @@ from repro.engine.operators import (
 from repro.errors import PlanningError
 from repro.grid.container import GridContext
 from repro.planner.physical import PhysicalPlan, POLICY_HASH, ROOT_SUBPLAN
+from repro.policy import AdaptationPolicy, create_policy
 from repro.services.gds import GridDataService
 from repro.services.ws import WebServiceOperation
 
@@ -75,6 +76,9 @@ class QueryRuntime:
     balancing_task: BalancingTask | None
     #: GQES endpoints whose failure the GDQS has already handled.
     failures_handled: set = dataclasses.field(default_factory=set)
+    #: The adaptation policy shared by this query's detectors,
+    #: Diagnoser and Responder (None when adaptivity is disabled).
+    policy: AdaptationPolicy | None = None
 
     def all_gqes(self) -> list[GQES]:
         return list(self.gqes_by_machine.values())
@@ -161,13 +165,19 @@ def deploy_query(context: GridContext, plan: PhysicalPlan,
     """Instantiate services and operator trees for ``plan``."""
     machines = plan.machines_used()
 
+    # One policy instance per query, shared by every adaptivity
+    # component so controller state (smoothed costs, hysteresis arms,
+    # PID integrals) is coherent across the control loop.
+    adaptation_policy = (create_policy(adaptivity)
+                         if adaptivity.enabled else None)
+
     detectors: dict[str, MonitoringEventDetector] = {}
     monitoring_on = adaptivity.enabled and adaptivity.m1_interval > 0
     if monitoring_on:
         for machine_name in machines:
             detectors[machine_name] = MonitoringEventDetector(
                 context, machine_name, adaptivity, cost,
-                query_id=plan.query_id)
+                query_id=plan.query_id, policy=adaptation_policy)
 
     gqes_by_machine = {
         machine_name: GQES(context, plan.query_id, machine_name,
@@ -309,9 +319,11 @@ def deploy_query(context: GridContext, plan: PhysicalPlan,
         # per-site detectors; we place them on the first compute machine.
         placement = compute.machine_names[0]
         diagnoser = Diagnoser(context, placement, adaptivity, cost,
-                              [balancing_task], query_id=plan.query_id)
+                              [balancing_task], query_id=plan.query_id,
+                              policy=adaptation_policy)
         responder = Responder(context, placement, adaptivity, cost,
-                              [balancing_task], query_id=plan.query_id)
+                              [balancing_task], query_id=plan.query_id,
+                              policy=adaptation_policy)
         for detector in detectors.values():
             detector.subscribe(TOPIC_COST, diagnoser.name)
         diagnoser.subscribe(TOPIC_IMBALANCE, responder.name)
@@ -328,4 +340,5 @@ def deploy_query(context: GridContext, plan: PhysicalPlan,
         feed_producers=feed_producers,
         compute_producers=compute_producers,
         compute_fragments=compute_fragments,
-        balancing_task=balancing_task)
+        balancing_task=balancing_task,
+        policy=adaptation_policy)

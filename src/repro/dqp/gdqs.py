@@ -75,6 +75,12 @@ class QueryStatistics:
     #: defense; zero without a suspect timeout).
     clones_quarantined: int = 0
     clones_reintegrated: int = 0
+    #: Name of the adaptation policy that ran the control loop
+    #: ("static" when adaptivity was disabled).
+    policy: str = "static"
+    #: Workload mass moved one way and later reversed by the policy's
+    #: own adaptations (see Responder oscillation accounting).
+    oscillation: float = 0.0
 
     @property
     def consumer_imbalance_ratio(self) -> float:
@@ -388,7 +394,7 @@ class GDQS(GridService):
         if monitoring_on and detector is None:
             detector = MonitoringEventDetector(
                 self.context, replacement, adaptivity, self.cost,
-                query_id=plan.query_id)
+                query_id=plan.query_id, policy=runtime.policy)
             runtime.detectors[replacement] = detector
             if runtime.diagnoser is not None:
                 detector.subscribe(TOPIC_COST, runtime.diagnoser.name)
@@ -551,11 +557,17 @@ class GDQS(GridService):
             clones_quarantined=(runtime.responder.quarantines
                                 if runtime.responder else 0),
             clones_reintegrated=(runtime.responder.reintegrations
-                                 if runtime.responder else 0))
+                                 if runtime.responder else 0),
+            policy=(runtime.policy.name if runtime.policy else "static"),
+            oscillation=(runtime.responder.oscillation
+                         if runtime.responder else 0.0))
         registry = self.context.metrics
         if registry.enabled:
-            latency = registry.find("histogram", "detection_latency_ms",
-                                    query=query_id)
+            latency = None
+            if runtime.policy is not None:
+                latency = registry.find(
+                    "histogram", "detection_latency_ms",
+                    query=query_id, policy=runtime.policy.name)
             registry.add_report(AdaptivityReport(
                 query_id=query_id,
                 response_time_ms=response_time,
@@ -566,6 +578,8 @@ class GDQS(GridService):
                 tuple_balance_ratio=stats.consumer_imbalance_ratio,
                 tuples_per_consumer=tuple(tuples_per_consumer),
                 detection_latency_ms=(latency.summary() if latency
-                                      else {"count": 0, "sum": 0.0})))
+                                      else {"count": 0, "sum": 0.0}),
+                policy=stats.policy,
+                oscillation=stats.oscillation))
         return QueryResult(query_id, sink.final_rows(),
                            runtime.plan.output_schema, stats)

@@ -6,7 +6,8 @@ Run them all from the command line::
 
 or individually (``table1``, ``fig2a``, ``fig2b``, ``fig3a``,
 ``fig3b``, ``fig4``, ``fig5``, ``overheads``, ``monitoring``,
-``recovery``, ``multiquery``, ``chaos``).
+``recovery``, ``multiquery``, ``chaos``, ``tournament``,
+``tournament-smoke``).
 """
 
 from repro.experiments import (
@@ -19,6 +20,7 @@ from repro.experiments import (
     overheads,
     recovery,
     table1,
+    tournament,
 )
 from repro.experiments.harness import (
     BaselineCache,
@@ -42,6 +44,8 @@ EXPERIMENTS = {
     "recovery": recovery.run,
     "monitoring": overheads.run_monitoring_frequency,
     "chaos": chaos.run,
+    "tournament": tournament.run,
+    "tournament-smoke": tournament.run_smoke,
 }
 
 __all__ = [

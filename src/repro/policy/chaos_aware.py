@@ -1,0 +1,112 @@
+"""Chaos-aware controller: fold quarantine signals into the costs.
+
+The Responder's quarantine machinery (suspect clones get their weight
+driven to zero, reintegrated clones get their old share back) runs
+*outside* the paper controller — which therefore has to be locked out
+entirely while any clone is quarantined, lest it hand work back to a
+stalled machine.  This policy instead subscribes to those signals via
+the lifecycle hooks and folds them into its own cost estimates:
+
+* a **quarantined** clone's weight is pinned to zero in every proposal
+  (``quarantine_aware`` tells the Responder proposals stay valid);
+* a **reintegrated** clone is not trusted at face value: its assessed
+  cost is inflated by ``reintegration_penalty``, decaying with
+  half-life ``penalty_halflife_ms``, so work ramps back gradually as
+  the clone re-proves itself instead of snapping back to the full
+  pre-quarantine share.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.distribution import max_relative_change, normalise_weights
+from repro.policy.base import AdaptationPolicy, DEPLOY, Verdict
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.diagnoser import BalancingTask
+
+
+class ChaosAwarePolicy(AdaptationPolicy):
+    """Quarantine-aware inverse-cost controller with re-entry ramping."""
+
+    PARAMS = {
+        #: Cost multiplier applied to a clone at the moment of its
+        #: reintegration (1.0 disables the ramp).
+        "reintegration_penalty": 3.0,
+        #: Half-life (simulated ms) of the reintegration penalty's
+        #: exponential decay toward 1.0.
+        "penalty_halflife_ms": 2000.0,
+    }
+
+    quarantine_aware = True
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        #: subplan_id -> set of quarantined instance indices.
+        self._quarantined: dict[str, set[int]] = {}
+        #: (subplan_id, index) -> reintegration timestamp (sim ms).
+        self._reintegrated_at: dict[tuple[str, int], float] = {}
+
+    # -- lifecycle signals ------------------------------------------------
+
+    def on_quarantine(self, subplan_id: str, instance_index: int,
+                      now: float) -> None:
+        self._quarantined.setdefault(subplan_id, set()).add(instance_index)
+        self._reintegrated_at.pop((subplan_id, instance_index), None)
+
+    def on_reintegration(self, subplan_id: str, instance_index: int,
+                         now: float) -> None:
+        self._quarantined.get(subplan_id, set()).discard(instance_index)
+        self._reintegrated_at[(subplan_id, instance_index)] = now
+
+    # -- cost shaping -----------------------------------------------------
+
+    def _penalty(self, subplan_id: str, index: int, now: float) -> float:
+        """The decayed cost multiplier of a reintegrated clone."""
+        reintegrated_at = self._reintegrated_at.get((subplan_id, index))
+        if reintegrated_at is None:
+            return 1.0
+        penalty = self.params["reintegration_penalty"]
+        halflife = self.params["penalty_halflife_ms"]
+        if penalty <= 1.0 or halflife <= 0:
+            return 1.0
+        decay = 0.5 ** ((now - reintegrated_at) / halflife)
+        if penalty * decay <= 1.001:
+            # Fully decayed: forget the episode.
+            del self._reintegrated_at[(subplan_id, index)]
+            return 1.0
+        return 1.0 + (penalty - 1.0) * decay
+
+    def propose(self, task: "BalancingTask", current: list[float],
+                costs: list[float], now: float) -> list[float] | None:
+        quarantined = self._quarantined.get(task.subplan_id, set())
+        shaped = []
+        for index, cost in enumerate(costs):
+            if index in quarantined:
+                shaped.append(0.0)
+            else:
+                shaped.append(1.0 / (cost * self._penalty(
+                    task.subplan_id, index, now)))
+        total = sum(shaped)
+        if total <= 0:
+            return None  # every clone suspect: nowhere to shift work
+        proposed = list(normalise_weights(shaped))
+        if max_relative_change(current, proposed) <= self.config.thres_a:
+            return None
+        return proposed
+
+    def decide(self, state, proposal, now: float) -> Verdict:
+        verdict = super().decide(state, proposal, now)
+        if verdict.action != DEPLOY:
+            return verdict
+        # A proposal assessed before a quarantine fired may still carry
+        # weight at a now-quarantined index: re-mask at decision time.
+        quarantined = self._quarantined.get(proposal.subplan_id, set())
+        if not quarantined:
+            return verdict
+        masked = [0.0 if index in quarantined else weight
+                  for index, weight in enumerate(verdict.weights)]
+        if sum(masked) <= 0:
+            return Verdict.skip("quarantined")
+        return Verdict.deploy(normalise_weights(masked))

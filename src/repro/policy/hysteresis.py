@@ -1,0 +1,78 @@
+"""EWMA-smoothed controller with a Schmitt-trigger proposal gate.
+
+Two changes against the paper controller, both aimed at damping the
+oscillation its single threshold invites under noisy costs:
+
+* **EWMA smoothing** — instead of taking each windowed average at face
+  value, per-instance costs are folded into an exponentially weighted
+  moving average (``alpha``), so one noisy window cannot flip the
+  proposed vector;
+* **hysteresis (separate trigger and release thresholds)** — after an
+  adaptation fires, the trigger *disarms*: no further proposal is made
+  for the subplan until the measured deviation has first fallen below
+  ``thres_a * release_ratio`` (the release threshold), confirming the
+  deployed vector actually took effect.  Only then does the trigger
+  re-arm at the full ``thres_a``.  A controller chasing its own tail —
+  propose, deploy, observe the transient, propose the reverse — is cut
+  off at the second step.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.distribution import inverse_cost_weights, max_relative_change
+from repro.policy.base import AdaptationPolicy
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.diagnoser import BalancingTask
+
+
+class HysteresisPolicy(AdaptationPolicy):
+    """Paper controller + EWMA cost smoothing + trigger/release gates."""
+
+    PARAMS = {
+        #: EWMA weight of the newest windowed average (1.0 = no
+        #: smoothing, i.e. the paper's behaviour).
+        "alpha": 0.4,
+        #: Release threshold as a fraction of ``thres_a``: a disarmed
+        #: trigger re-arms once the deviation drops below
+        #: ``thres_a * release_ratio``.
+        "release_ratio": 0.5,
+    }
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        #: subplan_id -> whether the trigger is armed (True initially).
+        self._armed: dict[str, bool] = {}
+
+    def _smooth(self, store: dict, key: str, value: float) -> None:
+        previous = store.get(key)
+        alpha = self.params["alpha"]
+        store[key] = (value if previous is None
+                      else alpha * value + (1.0 - alpha) * previous)
+
+    def _record_m1(self, instance_id: str, value: float) -> None:
+        self._smooth(self._m1_cost, instance_id, value)
+
+    def _record_m2(self, channel: str, value: float) -> None:
+        self._smooth(self._m2_cost, channel, value)
+
+    def propose(self, task: "BalancingTask", current: list[float],
+                costs: list[float], now: float) -> list[float] | None:
+        proposed = inverse_cost_weights(costs)
+        deviation = max_relative_change(current, proposed)
+        if not self._armed.get(task.subplan_id, True):
+            if deviation < self.config.thres_a * self.params["release_ratio"]:
+                # The deployed vector took effect: re-arm the trigger.
+                self._armed[task.subplan_id] = True
+            return None
+        if deviation <= self.config.thres_a:
+            return None
+        return proposed
+
+    def on_adaptation(self, subplan_id: str,
+                      weights: typing.Sequence[float],
+                      now: float) -> None:
+        # Disarm until the deviation confirms the deploy settled.
+        self._armed[subplan_id] = False

@@ -1,0 +1,43 @@
+"""The paper's controller as four registered policy instances.
+
+``paper-A1R1`` … ``paper-A2R2`` are the A1/A2×R1/R2 combinations of
+§3.1, expressed as policy names.  The class adds nothing on top of
+:class:`~repro.policy.base.AdaptationPolicy` — the base class *is* the
+paper's arithmetic — which is exactly the point: the bit-identity
+property tests pin each instance to the pre-refactor Diagnoser/
+Responder behaviour, so any accidental drift in the base class is
+caught against the golden runs.
+
+Selecting a paper name forces the config's ``assessment``/``response``
+axes to the name's pair (the name is authoritative); conversely a
+config that only sets the axes resolves to the matching paper name.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.config import (
+    ASSESSMENT_A1,
+    ASSESSMENT_A2,
+    RESPONSE_R1,
+    RESPONSE_R2,
+)
+from repro.policy.base import AdaptationPolicy
+from repro.policy.registry import PolicyRegistry
+
+
+class PaperPolicy(AdaptationPolicy):
+    """W' ∝ 1/c with thresM/thresA gates — the VLDB 2005 controller."""
+
+
+def paper_policy_name(assessment: str, response: str) -> str:
+    """The registered name of one A×R combination."""
+    return f"paper-{assessment}{response}"
+
+
+def register_paper_policies(registry: PolicyRegistry) -> None:
+    for assessment, response in itertools.product(
+            (ASSESSMENT_A1, ASSESSMENT_A2), (RESPONSE_R1, RESPONSE_R2)):
+        registry.register(paper_policy_name(assessment, response),
+                          PaperPolicy, paper_axes=(assessment, response))

@@ -1,0 +1,86 @@
+"""PID-style weight controller: step toward the target, don't jump.
+
+The paper controller deploys the inverse-cost vector in one move.
+When the cost estimate is itself a lagging, noisy signal, that full
+jump overshoots — the instance that looked slow receives almost no
+work, its windowed average then looks *fast*, and the next proposal
+jumps back.  This policy instead treats the inverse-cost vector as a
+setpoint and steps the deployed weights toward it:
+
+    w <- w + kp * e + ki * sum(e)      with  e = target - w
+
+``kp`` scales the proportional response to the current error, ``ki``
+the integral response to accumulated error (so a persistent small
+imbalance is eventually corrected even when each step's error is
+below noise).  The integral term is clamped (anti-windup) and the
+whole vector re-normalised after each step.
+
+A partial step is by construction closer to the current vector than
+the full jump, so the policy lowers the proposal/decision gates to
+``thres_a * deadband_ratio`` — otherwise its own steps would be
+discarded as below-threshold by the Responder's re-check.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.distribution import (
+    inverse_cost_weights,
+    max_relative_change,
+    normalise_weights,
+)
+from repro.policy.base import AdaptationPolicy
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.diagnoser import BalancingTask
+
+#: Anti-windup clamp on each integral-error component.
+_INTEGRAL_CLAMP = 1.0
+
+#: Weight floor after a step: a component may approach zero but never
+#: reach it, so a starved instance can always win work back.
+_WEIGHT_FLOOR = 1e-6
+
+
+class PidPolicy(AdaptationPolicy):
+    """Steps the weight vector toward the inverse-cost setpoint."""
+
+    PARAMS = {
+        #: Proportional gain on the current error.
+        "kp": 0.5,
+        #: Integral gain on the accumulated error.
+        "ki": 0.15,
+        #: Gate scaling: proposals and Responder re-checks use
+        #: ``thres_a * deadband_ratio`` so partial steps survive.
+        "deadband_ratio": 0.5,
+    }
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        #: subplan_id -> accumulated per-element error (integral term).
+        self._integral: dict[str, list[float]] = {}
+
+    def decision_threshold(self) -> float:
+        return self.config.thres_a * self.params["deadband_ratio"]
+
+    def propose(self, task: "BalancingTask", current: list[float],
+                costs: list[float], now: float) -> list[float] | None:
+        target = inverse_cost_weights(costs)
+        if max_relative_change(current, target) <= self.decision_threshold():
+            # Inside the deadband: bleed off the integral so an old
+            # accumulated error cannot fire a step on its own later.
+            self._integral.pop(task.subplan_id, None)
+            return None
+        integral = self._integral.setdefault(task.subplan_id,
+                                             [0.0] * len(current))
+        kp, ki = self.params["kp"], self.params["ki"]
+        stepped = []
+        for index, (weight, setpoint) in enumerate(zip(current, target)):
+            error = setpoint - weight
+            integral[index] = max(-_INTEGRAL_CLAMP,
+                                  min(_INTEGRAL_CLAMP,
+                                      integral[index] + error))
+            stepped.append(max(_WEIGHT_FLOOR,
+                               weight + kp * error + ki * integral[index]))
+        return list(normalise_weights(stepped))

@@ -1,0 +1,97 @@
+"""Name-keyed registry of adaptation policies.
+
+The registry is the single authority on which controllers exist: the
+config layer validates ``AdaptivityConfig.policy`` (and the legacy
+``assessment``/``response`` axes) against it, the CLI derives its
+``--policy`` choices from it, and the tournament experiment races
+every registered name.  Paper variants register with their
+``(assessment, response)`` axes so the registry can both resolve
+``paper-A2R1`` to the right knob settings and enumerate the valid
+axis values for error messages.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ConfigurationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import AdaptivityConfig
+    from repro.policy.base import AdaptationPolicy
+
+
+class PolicyRegistry:
+    """Maps policy names to :class:`AdaptationPolicy` subclasses."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type] = {}
+        #: name -> (assessment, response) for registered paper variants.
+        self._paper_axes: dict[str, tuple[str, str]] = {}
+
+    def register(self, name: str, cls: type,
+                 paper_axes: tuple[str, str] | None = None) -> type:
+        """Register ``cls`` under ``name``; returns ``cls``.
+
+        ``paper_axes`` marks a paper variant and records which
+        ``(assessment, response)`` pair the name denotes.
+        """
+        if name in self._classes:
+            raise ValueError(f"policy {name!r} already registered")
+        self._classes[name] = cls
+        if paper_axes is not None:
+            self._paper_axes[name] = paper_axes
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def get(self, name: str) -> type:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown adaptation policy: {name!r} "
+                f"(registered policies: {', '.join(self.names())})"
+                ) from None
+
+    def paper_axes(self, name: str) -> tuple[str, str] | None:
+        """The ``(assessment, response)`` pair of a paper variant."""
+        return self._paper_axes.get(name)
+
+    def assessments(self) -> list[str]:
+        """Valid values of the legacy ``assessment`` axis."""
+        return sorted({a for a, _r in self._paper_axes.values()})
+
+    def responses(self) -> list[str]:
+        """Valid values of the legacy ``response`` axis."""
+        return sorted({r for _a, r in self._paper_axes.values()})
+
+    def known_params(self, name: str) -> dict:
+        """Tunable parameter defaults of the policy called ``name``."""
+        return dict(self.get(name).PARAMS)
+
+    def validate_params(self, name: str,
+                        params: typing.Mapping[str, typing.Any]) -> None:
+        """Reject parameter keys the policy does not declare."""
+        known = self.known_params(name)
+        unknown = sorted(set(params) - set(known))
+        if unknown:
+            options = (", ".join(sorted(known)) if known
+                       else "none — the policy has no tunables")
+            raise ConfigurationError(
+                f"policy {name!r} does not accept parameter(s) "
+                f"{', '.join(repr(key) for key in unknown)} "
+                f"(known parameters: {options})")
+
+    def create(self, config: "AdaptivityConfig",
+               name: str | None = None) -> "AdaptationPolicy":
+        """Instantiate the policy ``config`` selects (or ``name``)."""
+        resolved = name if name is not None else config.policy_name
+        cls = self.get(resolved)
+        instance = cls(config)
+        instance.name = resolved
+        return instance

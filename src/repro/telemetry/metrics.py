@@ -230,6 +230,13 @@ class AdaptivityReport:
     #: :meth:`Histogram.summary` of detector->proposal latency (ms);
     #: ``{"count": 0, ...}`` when no proposal was ever raised.
     detection_latency_ms: dict = dataclasses.field(default_factory=dict)
+    #: Name of the adaptation policy that ran the control loop
+    #: ("static" when adaptivity was disabled).
+    policy: str = "static"
+    #: Workload mass moved by one adaptation and reversed by a later
+    #: one (sum of sign-flipped weight-delta overlaps); controller
+    #: churn, not fault handling.
+    oscillation: float = 0.0
 
     def to_dict(self) -> dict:
         record = dataclasses.asdict(self)

@@ -52,11 +52,13 @@ class RecordingService(GridService):
 
 
 def make_world(config=None, processed=100, policy_kind="wrr",
-               bucket_map=None, two_producers=False):
+               bucket_map=None, two_producers=False,
+               estimated_total=1000):
     context = GridContext(seed=0)
     for name in ("m1", "m2", "data"):
         context.add_machine(name)
-    gqes = FakeGQES(context, "gqes:q:data", "data", processed=processed)
+    gqes = FakeGQES(context, "gqes:q:data", "data", processed=processed,
+                    estimated_total=estimated_total)
     producers = [("xp:feed0:0", "gqes:q:data", 0)]
     if two_producers:
         producers.append(("xp:feed1:0", "gqes:q:data", 1))
@@ -187,6 +189,48 @@ class TestResponderDecisions:
         context.env.run()
         assert responder.adaptations_accepted == 1
         assert context.env.now >= 4000.0
+
+    def test_degenerate_progress_estimate_counted_as_such(self):
+        # estimated_total == 0 says nothing about progress; it used to
+        # be folded into fraction = 1.0 and skipped as near-completion.
+        context, responder, gqes, _diag = make_world(estimated_total=0)
+        responder.on_notification(TOPIC_IMBALANCE, proposal(), "diag")
+        context.env.run()
+        assert responder.adaptations_accepted == 0
+        assert responder.skipped_degenerate_progress == 1
+        assert responder.skipped_near_completion == 0
+        assert gqes.updates == []
+
+    def test_oscillation_accumulates_on_reversed_mass(self):
+        context, responder, gqes, _diag = make_world()
+        responder.on_notification(TOPIC_IMBALANCE, proposal(), "diag")
+        context.env.run()
+        assert responder.oscillation == 0.0  # first move: nothing to
+        # reverse yet
+        responder.on_notification(
+            TOPIC_IMBALANCE,
+            ImbalanceProposal("compute", (1 / 11, 10 / 11), (0.5, 0.5),
+                              (5.0, 5.0), 0.0), "diag")
+        context.env.run()
+        # Second adaptation moved mass straight back: the overlap of
+        # the two deltas (|0.5 - 1/11| per component) sums over both.
+        assert responder.adaptations_accepted == 2
+        assert responder.oscillation == pytest.approx(2 * (0.5 - 1 / 11))
+
+    def test_same_direction_moves_do_not_oscillate(self):
+        context, responder, gqes, _diag = make_world()
+        responder.on_notification(
+            TOPIC_IMBALANCE,
+            ImbalanceProposal("compute", (0.5, 0.5), (0.3, 0.7),
+                              (7.0, 3.0), 0.0), "diag")
+        context.env.run()
+        responder.on_notification(
+            TOPIC_IMBALANCE,
+            ImbalanceProposal("compute", (0.3, 0.7), (0.1, 0.9),
+                              (9.0, 1.0), 0.0), "diag")
+        context.env.run()
+        assert responder.adaptations_accepted == 2
+        assert responder.oscillation == 0.0
 
     def test_epochs_increase_per_adaptation(self):
         context, responder, gqes, _diag = make_world()

@@ -65,7 +65,8 @@ class TestRegistryAndReport:
     def test_all_paper_artefacts_registered(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5",
-            "overheads", "monitoring", "recovery", "multiquery", "chaos"}
+            "overheads", "monitoring", "recovery", "multiquery", "chaos",
+            "tournament", "tournament-smoke"}
 
     def test_render_produces_aligned_table(self):
         report = ExperimentReport(
@@ -83,3 +84,40 @@ class TestRegistryAndReport:
     def test_row_dicts_round_trip(self):
         report = ExperimentReport("x", "t", ["a", "b"], [[1, 2]])
         assert report.row_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestTournament:
+    def test_smoke_slice_is_subset_of_full_tournament(self):
+        from repro.experiments import tournament
+        from repro.policy import default_registry
+
+        assert set(tournament.SMOKE_SCENARIO_IDS) <= set(
+            tournament.SCENARIO_IDS)
+        assert set(tournament.SMOKE_POLICIES) <= set(
+            default_registry().names())
+
+    def test_cells_run_baselines_before_policies(self):
+        from repro.experiments import tournament
+
+        sweep = tournament.cells(("pid",), ("fig2-ws10", "fig3-volatile"),
+                                 smoke=True)
+        assert [cell.label for cell in sweep] == [
+            "baseline:fig2-ws10", "baseline:fig3-volatile",
+            "pid:fig2-ws10", "pid:fig3-volatile"]
+
+    def test_single_policy_tournament_report_shape(self):
+        from repro.experiments import tournament
+
+        report = tournament._tournament(
+            "t", "t", ("paper-A1R1",), ("fig2-ws10",),
+            smoke=True, jobs=1)
+        assert report.columns == ["policy", "fig2-ws10", "mean",
+                                  "adaptations", "oscillation", "complete"]
+        (row,) = report.rows
+        entry = dict(zip(report.columns, row))
+        assert entry["policy"] == "paper-A1R1"
+        # The perturbed run cannot beat the unperturbed baseline.
+        assert entry["fig2-ws10"] > 1.0
+        assert entry["mean"] == entry["fig2-ws10"]
+        assert entry["adaptations"] >= 1
+        assert entry["complete"] == "yes"

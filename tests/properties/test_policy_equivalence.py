@@ -1,0 +1,124 @@
+"""The paper policies are bit-identical to the pre-refactor controller.
+
+The policy seam moved the Diagnoser's assessment arithmetic and the
+Responder's decision gates behind :class:`AdaptationPolicy`.  The
+refactor's contract is that the four registered ``paper-*`` instances
+*are* the old controller — not approximately, but bit for bit.  The
+fingerprints below were captured on the commit immediately before the
+seam was introduced, for both CI grid seeds, and cover:
+
+* the result rows (content hash),
+* the full adaptivity trace timeline (timestamp/category/source/
+  description of every event — any reordered or re-timed control
+  decision changes this),
+* the simulated response time,
+* the total number of DES events scheduled (any extra or missing
+  simulation step changes this), and
+* the number of adaptations deployed.
+
+A policy refactor that perturbs any control decision, however subtly,
+fails loudly here.  Selection goes through ``policy="paper-XY"`` — the
+new registry path — so name-keyed creation itself is part of what is
+pinned.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.config import AdaptivityConfig
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_join_sleep,
+    perturb_ws_cost,
+)
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+#: scenario -> (query, perturbation applier).
+SCENARIOS = {
+    "Q1-ws10": (Q1, lambda grid: perturb_ws_cost(grid, factor=10.0)),
+    "Q2-sleep20": (Q2,
+                   lambda grid: perturb_join_sleep(grid, sleep_ms=20.0)),
+}
+
+#: "<scenario>|<AxRy>|seed<seed>" -> (rows sha, trace sha, response_ms,
+#: DES events scheduled, adaptations accepted); captured pre-refactor.
+GOLDEN = {
+    "Q1-ws10|A1R1|seed0": ("260d2403bcd62319", "9555e62173ad650c",
+                           5948.63551999999, 5250, 1),
+    "Q1-ws10|A1R1|seed1": ("afa4d010a63af86b", "9555e62173ad650c",
+                           5948.63551999999, 5250, 1),
+    "Q1-ws10|A1R2|seed0": ("63d5b0518482a56f", "53c5c363f7e4aaaa",
+                           14868.38032, 4711, 1),
+    "Q1-ws10|A1R2|seed1": ("d3d46eed8a15f59b", "53c5c363f7e4aaaa",
+                           14868.38032, 4711, 1),
+    "Q1-ws10|A2R1|seed0": ("260d2403bcd62319", "5817e1115e45d012",
+                           5935.240319999991, 5246, 1),
+    "Q1-ws10|A2R1|seed1": ("afa4d010a63af86b", "5817e1115e45d012",
+                           5935.240319999991, 5246, 1),
+    "Q1-ws10|A2R2|seed0": ("63d5b0518482a56f", "53c5c363f7e4aaaa",
+                           14868.38032, 4711, 1),
+    "Q1-ws10|A2R2|seed1": ("d3d46eed8a15f59b", "53c5c363f7e4aaaa",
+                           14868.38032, 4711, 1),
+    "Q2-sleep20|A1R1|seed0": ("a83de989a1293f40", "0322633a2ab151ed",
+                              10159.720240000008, 10078, 1),
+    "Q2-sleep20|A1R1|seed1": ("72a51b9b0f8d608d", "818847df737c9119",
+                              10319.78656, 10023, 1),
+    "Q2-sleep20|A1R2|seed0": ("08752dd6285e1250", "d9fac2496dd59878",
+                              15005.757439999994, 7759, 1),
+    "Q2-sleep20|A1R2|seed1": ("9c9bae50fd80fa62", "0f01daf012fac5b6",
+                              15325.052159999994, 7700, 1),
+    "Q2-sleep20|A2R1|seed0": ("6e08862cc9b9d111", "9a7ba7a77bdfcf08",
+                              10705.575840000001, 9853, 1),
+    "Q2-sleep20|A2R1|seed1": ("668c49c57314b5db", "031a4d7d6a68b951",
+                              10362.67136, 9902, 1),
+    "Q2-sleep20|A2R2|seed0": ("08752dd6285e1250", "d9fac2496dd59878",
+                              15005.757439999994, 7759, 1),
+    "Q2-sleep20|A2R2|seed1": ("9c9bae50fd80fa62", "0f01daf012fac5b6",
+                              15325.052159999994, 7700, 1),
+}
+
+
+def fingerprint(scenario: str, policy_name: str):
+    query, perturb = SCENARIOS[scenario]
+    grid = DemoGrid(DemoGridSpec(sequences_cardinality=600,
+                                 interactions_cardinality=900,
+                                 seed=SEED))
+    perturb(grid)
+    result = grid.run(query, AdaptivityConfig(policy=policy_name))
+    timeline = [(event.timestamp, event.category, event.source,
+                 event.description)
+                for event in grid.context.tracer.events]
+    rows_sha = hashlib.sha256(
+        "\n".join(repr(row) for row in result.rows)
+        .encode()).hexdigest()[:16]
+    trace_sha = hashlib.sha256(repr(timeline).encode()).hexdigest()[:16]
+    return (rows_sha, trace_sha, result.response_time_ms,
+            grid.context.env.events_scheduled,
+            result.stats.adaptations_accepted)
+
+
+@pytest.mark.parametrize("combo", ["A1R1", "A1R2", "A2R1", "A2R2"])
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_paper_policy_bit_identical_to_pre_refactor(scenario, combo):
+    key = f"{scenario}|{combo}|seed{SEED}"
+    if key not in GOLDEN:
+        pytest.skip(f"no golden captured for seed {SEED}")
+    assert fingerprint(scenario, f"paper-{combo}") == GOLDEN[key]
+
+
+def test_axes_config_and_named_policy_share_one_controller():
+    """Legacy axes spelling resolves to the very same policy."""
+    from repro.policy import create_policy
+
+    legacy = AdaptivityConfig(assessment="A2", response="R1")
+    named = AdaptivityConfig(policy="paper-A2R1")
+    assert legacy.policy_name == named.policy_name == "paper-A2R1"
+    assert named.assessment == "A2" and named.response == "R1"
+    assert type(create_policy(legacy)) is type(create_policy(named))
+    assert create_policy(legacy).name == create_policy(named).name
