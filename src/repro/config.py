@@ -292,16 +292,18 @@ class EngineConfig:
     kernel_fast_path: bool = True
 
     def __post_init__(self) -> None:
-        if self.batch_size < 1:
-            raise ConfigurationError(
-                f"batch_size must be >= 1: {self.batch_size}")
-        if self.buffer_size < 1:
-            raise ConfigurationError(
-                f"buffer_size must be >= 1: {self.buffer_size}")
-        if self.checkpoint_interval < 1:
-            raise ConfigurationError(
-                f"checkpoint_interval must be >= 1: "
-                f"{self.checkpoint_interval}")
+        # The three sizes drive range() bounds and chunk arithmetic all
+        # over the engine; a float (or bool) slips through a pure
+        # ``< 1`` check and fails far from the construction site, so
+        # the type is validated here too.
+        for field in ("batch_size", "buffer_size", "checkpoint_interval"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{field} must be an integer: {value!r}")
+            if value < 1:
+                raise ConfigurationError(
+                    f"{field} must be >= 1: {value}")
 
     def replace(self, **changes) -> "EngineConfig":
         return dataclasses.replace(self, **changes)

@@ -254,7 +254,12 @@ def deploy_query(context: GridContext, plan: PhysicalPlan,
             consumers=consumer_refs,
             policy=policy,
             row_bytes=scan.row_bytes,
-            estimated_total=scan.estimated_total)
+            estimated_total=scan.estimated_total,
+            # The hash join's build rows *are* its state: the build
+            # feed retains what it routes so bucket moves replay the
+            # whole bucket, not just the unacknowledged log tail.
+            state_channel=(compute.policy_kind == POLICY_HASH
+                          and scan.target_port == 0))
         fragment = Fragment(ctx, scan.subplan_id, 0, root, {}, [root],
                             m1_interval=m1_interval)
         feed_gqes = gqes_by_machine[scan.machine_name]

@@ -66,7 +66,8 @@ class ExchangeProducer(UnaryOperator):
                  target_subplan_id: str,
                  consumers: typing.Sequence[ConsumerRef],
                  policy: DistributionPolicy, row_bytes: int,
-                 estimated_total: int) -> None:
+                 estimated_total: int,
+                 state_channel: bool = False) -> None:
         super().__init__(ctx, child)
         if policy.consumer_count != len(consumers):
             raise ExecutionError(
@@ -91,6 +92,26 @@ class ExchangeProducer(UnaryOperator):
             RecoveryLog(ref.channel_key)
             if ctx.engine_config.logging_enabled else None
             for ref in consumers]
+        #: Build channels of stateful subplans: the routed rows *are*
+        #: the downstream operator state, so the producer retains every
+        #: row it routes (insertion order) and, whenever a bucket-map
+        #: change moves buckets, copies the moved buckets' rows to
+        #: their new consumers before the probe side is rerouted —
+        #: see :meth:`_replay_state_moves`.
+        self.state_channel = state_channel
+        self._retained: dict[Tid, Row] | None = (
+            {} if state_channel else None)
+        #: Every consumer that ever owned each bucket.  Old owners keep
+        #: their copy of a moved bucket (state channels never retract)
+        #: and may still be probed by tuples queued before the move, so
+        #: build rows produced *after* the move must reach them too —
+        #: see :meth:`_multicast_targets`.
+        self._bucket_owners: list[set[int]] | None = None
+        if state_channel and isinstance(policy, HashBucketPolicy):
+            self._bucket_owners = [{owner} for owner in policy.bucket_map]
+        #: Fast path: stays False until a bucket-map change first gives
+        #: a bucket a second owner.
+        self._multicast = False
         #: Tids currently attributed to each channel (buffered or sent).
         self._attributed: list[set[Tid]] = [set() for _ in range(count)]
         #: Tids actually transmitted on each channel.
@@ -103,6 +124,12 @@ class ExchangeProducer(UnaryOperator):
         self.routed_total = 0
         self.finished = False
         self.applied_epoch = 0
+        #: Highest epoch whose replay phase has fully completed
+        #: (deliveries confirmed).  A chaos-duplicated or retried
+        #: update call observing ``epoch <= applied_epoch`` waits for
+        #: this before acknowledging — see :meth:`apply_update_replay`.
+        self._replay_settled_epoch = 0
+        self._replay_waiters: list = []
         #: True between the replay and discard phases of an update
         #: (used by termination detection).
         self.moving = False
@@ -112,6 +139,7 @@ class ExchangeProducer(UnaryOperator):
         self.last_update = None
         self.adaptations_applied = 0
         self.retrospective_moves = 0
+        self.state_replays = 0
         self.tuples_moved = 0
         self.tuples_replayed_for_recovery = 0
         self.buffers_sent = 0
@@ -155,6 +183,9 @@ class ExchangeProducer(UnaryOperator):
                 "instrument", self.ctx.cost.instrument_work_per_tuple)
         index = self.policy.route(row)
         yield from self._enqueue(index, row)
+        if self._multicast:
+            for extra in self._multicast_targets(row, index):
+                yield from self._enqueue(extra, row)
         self.routed_total += 1
         return row
 
@@ -187,7 +218,16 @@ class ExchangeProducer(UnaryOperator):
         # and transmitted afterwards.
         logged = 0
         sends: list[tuple[int, list, int]] = []
+        extras: dict[int, list[Row]] = {}
         for index, group in self.policy.route_batch(batch.rows):
+            group_logged, group_sends = self._place_batch(index, group)
+            logged += group_logged
+            sends.extend(group_sends)
+            if self._multicast:
+                for row in group:
+                    for extra in self._multicast_targets(row, index):
+                        extras.setdefault(extra, []).append(row)
+        for index, group in extras.items():
             group_logged, group_sends = self._place_batch(index, group)
             logged += group_logged
             sends.extend(group_sends)
@@ -207,6 +247,8 @@ class ExchangeProducer(UnaryOperator):
         self._buffers[index].append(row)
         self._buffer_rows[index] += 1
         self._attributed[index].add(row.tid)
+        if self._retained is not None:
+            self._retained[row.tid] = row
         log = self._logs[index]
         if log is not None:
             yield from self.ctx.machine.work("log-append", self._log_work)
@@ -248,6 +290,8 @@ class ExchangeProducer(UnaryOperator):
             self._buffers[index].extend(chunk)
             self._buffer_rows[index] += len(chunk)
             self._attributed[index].update(row.tid for row in chunk)
+            if self._retained is not None:
+                self._retained.update((row.tid, row) for row in chunk)
             if log is not None:
                 log.append_batch(chunk)
                 logged += len(chunk)
@@ -445,34 +489,73 @@ class ExchangeProducer(UnaryOperator):
         down.
 
         Returns True when the update was applied (False for a stale
-        epoch).
+        epoch).  The ack is the Responder's sequencing primitive — it
+        only reroutes the probe side of a join once the build side's
+        replay call returned — so a duplicate of an in-flight update
+        (chaos can duplicate the request, and the duplicate would hit
+        the stale-epoch path and ack instantly with the same
+        correlation id) must wait for the original application to
+        finish before returning.
         """
         if update.epoch <= self.applied_epoch:
+            yield from self._await_replay_settled(update.epoch)
             return False
         self.applied_epoch = update.epoch
         self.last_update = update
         self.moving = True
+        old_bucket_map = None
         if isinstance(self.policy, HashBucketPolicy):
+            if self._retained is not None:
+                old_bucket_map = list(self.policy.bucket_map)
             self.policy.update_weights(update.weights, update.bucket_map)
+            if self._bucket_owners is not None:
+                for bucket, owner in enumerate(self.policy.bucket_map):
+                    owners = self._bucket_owners[bucket]
+                    owners.add(owner)
+                    if len(owners) > 1:
+                        self._multicast = True
         else:
             self.policy.update_weights(update.weights)
         self.adaptations_applied += 1
         self._metric_adaptations.inc()
         self._pending_discards = []
-        if update.retrospective and self.ctx.engine_config.logging_enabled:
+        if old_bucket_map is not None:
+            # State channel: the consumers' operator state is exactly
+            # the rows this producer routed, so a bucket-map change is
+            # served from the retained rows — for *every* update kind.
+            # Prospective updates and quarantine deploys have no logs
+            # to replay, and even the retrospective log path only
+            # covers unacknowledged tuples; the retained copy covers
+            # the whole bucket.
+            yield from self._replay_state_moves(old_bucket_map)
+        elif update.retrospective and self.ctx.engine_config.logging_enabled:
             self.retrospective_moves += 1
             yield from self._replay_moves(self._plan_moves())
         if self.finished:
             yield from self._flush_all()
+        self._replay_settled_epoch = update.epoch
+        waiters, self._replay_waiters = self._replay_waiters, []
+        for event in waiters:
+            event.succeed(None)
         return True
+
+    def _await_replay_settled(self, epoch: int) -> typing.Generator:
+        """Block until the replay phase of ``epoch`` has completed."""
+        while self._replay_settled_epoch < epoch:
+            event = self.env.event()
+            self._replay_waiters.append(event)
+            yield event
 
     def apply_update_discard(self) -> typing.Generator:
         """Phase 2: retract moved tuples from their old consumers.
 
         FIFO links guarantee each discard is observed after the data it
         refers to; revised channel announcements follow the discards on
-        the same links.
+        the same links.  Waits for the replay phase of the current
+        epoch first: a duplicated replay request can ack the Responder
+        early, letting this phase start while the replay is in flight.
         """
+        yield from self._await_replay_settled(self.applied_epoch)
         for index, discard_tids in self._pending_discards:
             consumer = self.consumers[index]
             self.service.send(
@@ -486,6 +569,71 @@ class ExchangeProducer(UnaryOperator):
         self.moving = False
         return
         yield  # pragma: no cover - kept a generator for uniform callers
+
+    def _multicast_targets(self, row: Row, primary: int) -> tuple:
+        """Former owners of ``row``'s bucket, beyond the current one.
+
+        A moved bucket's old consumers keep its state and may still be
+        probed by tuples that were queued (or frozen in transit) before
+        the move, so state rows produced after the move are multicast
+        to every consumer that ever owned the bucket.  Downstream
+        insertion is tid-idempotent, so the copies are harmless where
+        the old state turns out to be dead.
+        """
+        owners = self._bucket_owners[self.policy.bucket_of(row)]
+        if len(owners) == 1:
+            return ()
+        return tuple(sorted(owners - {primary}))
+
+    def _replay_state_moves(self, old_bucket_map: list) -> typing.Generator:
+        """Copy the moved buckets' rows to their new consumers.
+
+        State channels never retract.  The old consumer keeps its copy
+        of a moved bucket — in-flight probes racing the update still
+        find complete state there, while the new consumer receives the
+        full bucket (delivery confirmed before this phase returns, and
+        the Responder only reroutes the probe producers afterwards).
+        Downstream insertion is tid-idempotent and the sink dedups
+        join outputs by provenance, so the copy is exactly-once where
+        it matters: in the result.
+        """
+        new_map = self.policy.bucket_map
+        moved = {bucket for bucket, owner in enumerate(old_bucket_map)
+                 if new_map[bucket] != owner}
+        if not moved or not self._retained:
+            return
+        # Scanning the retained state is log-extract-shaped work.
+        yield from self.ctx.machine.work(
+            "state-extract",
+            self.ctx.cost.log_extract_work * max(1, len(self._retained)))
+        replays: dict[int, list[Row]] = {}
+        for row in self._retained.values():
+            bucket = self.policy.bucket_of(row)
+            if bucket not in moved:
+                continue
+            target = new_map[bucket]
+            if row.tid in self._attributed[target]:
+                continue  # that consumer already holds this row
+            replays.setdefault(target, []).append(row)
+        if not replays:
+            return
+        self.state_replays += 1
+        if self.ctx.engine_config.batch_size == 1:
+            for target, replay_rows in replays.items():
+                for row in replay_rows:
+                    yield from self._enqueue(target, row)
+                    self.tuples_moved += 1
+        else:
+            logged = 0
+            sends: list[tuple[int, list, int]] = []
+            for target, replay_rows in replays.items():
+                target_logged, target_sends = self._place_batch(
+                    target, replay_rows)
+                logged += target_logged
+                sends.extend(target_sends)
+                self.tuples_moved += len(replay_rows)
+            yield from self._settle_batch(logged, sends)
+        yield from self._flush_all()
 
     def _replay_moves(self, moves: dict[int, list[tuple[Row, int]]]
                       ) -> typing.Generator:

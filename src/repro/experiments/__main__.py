@@ -19,8 +19,9 @@ def main(argv: list[str] | None = None) -> int:
                      "Processing' (VLDB DMG 2005)."))
     parser.add_argument(
         "experiments", nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment ids to run ('all' runs every one)")
+        choices=sorted(EXPERIMENTS) + ["all", "fuzz"],
+        help="experiment ids to run ('all' runs every one; 'fuzz' "
+             "runs the scenario fuzzer and must be named explicitly)")
     parser.add_argument(
         "--metrics-dir", metavar="DIR", default=".",
         help="directory receiving one METRICS_<id>.jsonl per "
@@ -33,9 +34,26 @@ def main(argv: list[str] | None = None) -> int:
         help="run each experiment's sweep cells over N worker "
              "processes (default: 1 = serial; results and metrics "
              "are identical whatever N is)")
+    parser.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="fuzz only: number of scenarios to generate and check "
+             "(default: 50)")
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="fuzz only: master seed of the scenario corpus "
+             "(default: 0)")
+    parser.add_argument(
+        "--fuzz-out", metavar="DIR", default=None,
+        help="fuzz only: directory receiving corpus.jsonl, "
+             "weights.json and any shrunk repro artifacts "
+             "(default: no artifact files)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.budget < 0:
+        parser.error(f"--budget must be >= 0, got {args.budget}")
+    # 'all' deliberately excludes the fuzzer: a campaign's budget and
+    # artifact directory are an explicit choice, not a side effect.
     names = (sorted(EXPERIMENTS) if "all" in args.experiments
              else args.experiments)
     for name in names:
@@ -43,7 +61,13 @@ def main(argv: list[str] | None = None) -> int:
         sink = None if args.no_metrics else MetricsSink()
         previous = set_metrics_sink(sink)
         try:
-            report = EXPERIMENTS[name](jobs=args.jobs)
+            if name == "fuzz":
+                from repro.scengen.fuzz import run as run_fuzz
+                report = run_fuzz(jobs=args.jobs, budget=args.budget,
+                                  seed=args.seed,
+                                  out_dir=args.fuzz_out)
+            else:
+                report = EXPERIMENTS[name](jobs=args.jobs)
         finally:
             set_metrics_sink(previous)
         print(render(report))

@@ -1,0 +1,45 @@
+"""Grammar-driven scenario fuzzing for the adaptive query engine.
+
+The seven experiments replay hand-written scenarios; this package
+turns scenario coverage into a *search*.  A seeded grammar
+(:mod:`~repro.scengen.grammar`) composes random-but-reproducible
+scenarios — query/plan shape, data sizes, perturbation schedules,
+chaos fault schedules, policy and pacing — a runner
+(:mod:`~repro.scengen.runner`) executes each one through the sweep
+pool and checks invariant oracles (:mod:`~repro.scengen.oracles`), a
+feedback loop (:mod:`~repro.scengen.feedback`) up-weights grammar
+rules whose scenarios misbehave, and a shrinker
+(:mod:`~repro.scengen.shrink`) reduces any violating scenario to a
+minimal repro plus a ready-to-commit regression test.
+
+Entry point: ``python -m repro.experiments fuzz --budget N --seed S``.
+"""
+
+from repro.scengen.feedback import AdaptiveWeights, interest_score
+from repro.scengen.fuzz import run
+from repro.scengen.grammar import (
+    GRAMMAR_VERSION,
+    Scenario,
+    ScenarioGrammar,
+    derive_seed,
+)
+from repro.scengen.oracles import Violation, check_all, default_oracles
+from repro.scengen.runner import fuzz_cell, probe_scenario
+from repro.scengen.shrink import emit_regression, shrink_scenario
+
+__all__ = [
+    "AdaptiveWeights",
+    "GRAMMAR_VERSION",
+    "Scenario",
+    "ScenarioGrammar",
+    "Violation",
+    "check_all",
+    "default_oracles",
+    "derive_seed",
+    "emit_regression",
+    "fuzz_cell",
+    "interest_score",
+    "probe_scenario",
+    "run",
+    "shrink_scenario",
+]

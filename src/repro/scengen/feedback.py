@@ -1,0 +1,104 @@
+"""Adaptive rule weighting: the grammar learns where it hurts.
+
+After every sweep round the fuzzer feeds each outcome back through
+:class:`AdaptiveWeights`: rules whose scenarios violated an invariant
+are boosted hard, rules whose scenarios showed *interesting* dynamics
+(hunting controllers, heavy oscillation, badly missed response
+times) are boosted gently, and rules that produced quiet runs decay
+back toward neutral — the pyrqg ``AdaptiveGrammar`` loop.  All
+arithmetic is plain float math over outcomes in corpus order, so the
+evolved weights (and hence the whole corpus) are reproducible for
+any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.scengen.oracles import MAX_ADAPTATIONS, RunDigest
+
+
+@dataclasses.dataclass
+class RuleStats:
+    """Book-keeping per grammar rule."""
+
+    runs: int = 0
+    violations: int = 0
+    interest: float = 0.0
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def interest_score(digest: RunDigest | None,
+                   baseline: RunDigest | None) -> float:
+    """How *interesting* a non-violating run was, in ``[0, 1]``.
+
+    Interest is poor adaptation, not mere slowness: a hunting
+    controller (many adaptations), reversed workload moves
+    (oscillation) or a response time that blows far past the static
+    baseline despite adapting.
+    """
+    if digest is None:
+        return 1.0
+    score = 0.0
+    if digest.adaptations > 4:
+        score += min(1.0, (digest.adaptations - 4) / MAX_ADAPTATIONS)
+    score += min(1.0, digest.oscillation / 4.0)
+    if baseline is not None and baseline.response_ms > 0:
+        slowdown = digest.response_ms / baseline.response_ms
+        if slowdown > 6.0:
+            score += 0.5
+    return min(1.0, score)
+
+
+class AdaptiveWeights:
+    """Multiplicative rule-weight updates with decay toward neutral."""
+
+    def __init__(self,
+                 base: typing.Mapping[str, float] | None = None,
+                 learning_rate: float = 0.6,
+                 min_weight: float = 0.2,
+                 max_weight: float = 6.0) -> None:
+        self.learning_rate = learning_rate
+        self.min_weight = min_weight
+        self.max_weight = max_weight
+        self._weights: dict[str, float] = dict(base or {})
+        self.stats: dict[str, RuleStats] = {}
+
+    def weight(self, rule: str) -> float:
+        return self._weights.get(rule, 1.0)
+
+    def observe(self, rules: typing.Iterable[str], violated: bool,
+                interest: float = 0.0) -> None:
+        """Fold one scenario's outcome into its rules' weights."""
+        interest = max(0.0, min(1.0, interest))
+        for rule in rules:
+            stats = self.stats.setdefault(rule, RuleStats())
+            stats.runs += 1
+            weight = self.weight(rule)
+            if violated:
+                stats.violations += 1
+                weight *= 1.0 + self.learning_rate
+            elif interest > 0.0:
+                stats.interest += interest
+                weight *= 1.0 + self.learning_rate * interest * 0.5
+            else:
+                # Quiet run: relax toward neutral so early noise
+                # cannot pin the grammar in a corner forever.
+                weight += (1.0 - weight) * 0.25
+            self._weights[rule] = max(self.min_weight,
+                                      min(self.max_weight, weight))
+
+    def snapshot(self) -> dict[str, float]:
+        """Current weights, sorted by name (stable for reports)."""
+        return {rule: round(self._weights[rule], 6)
+                for rule in sorted(self._weights)}
+
+    def hottest(self, count: int = 8) -> list[tuple[str, float]]:
+        """The ``count`` most up-weighted rules (ties by name)."""
+        ranked = sorted(self._weights.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return [(rule, round(weight, 3))
+                for rule, weight in ranked[:count] if weight > 1.0]

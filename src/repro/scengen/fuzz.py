@@ -1,0 +1,157 @@
+"""The fuzz campaign: generate, sweep, judge, learn, shrink.
+
+``python -m repro.experiments fuzz --budget N --seed S --jobs J``
+runs ``N`` generated scenarios in fixed-size rounds.  Within a round
+the scenarios fan out over the :class:`SweepRunner` fork pool;
+between rounds the grammar's rule weights are updated from the
+round's outcomes in corpus order.  Because generation depends only
+on ``(grammar version, master seed, index, weights)`` and weights
+evolve from ordered outcomes, the whole campaign — corpus file,
+report, shrunk repros — is byte-identical for any ``--jobs`` value.
+
+Violating scenarios are greedily shrunk (up to ``max_shrinks``) and,
+when ``--fuzz-out`` is given, each shrunk repro is written as a JSON
+artifact plus a ready-to-commit pytest regression file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments.harness import ExperimentReport, SweepCell, \
+    SweepRunner
+from repro.scengen.feedback import AdaptiveWeights, interest_score
+from repro.scengen.grammar import (
+    DEFAULT_WEIGHTS,
+    GRAMMAR_VERSION,
+    Scenario,
+    ScenarioGrammar,
+)
+from repro.scengen.oracles import RunDigest, check_all
+from repro.scengen.runner import fuzz_cell, probe_scenario
+from repro.scengen.shrink import (
+    emit_regression,
+    reproducer,
+    scenario_size,
+    shrink_scenario,
+    write_repro,
+)
+
+#: Scenarios per sweep round.  Fixed (not tied to ``jobs``) so the
+#: weight-update schedule — and therefore the corpus — is identical
+#: however the rounds are parallelised.
+ROUND_SIZE = 10
+
+
+def _digest_or_none(record) -> RunDigest | None:
+    return RunDigest.from_json(record) if record else None
+
+
+def run(jobs: int = 1, budget: int = 50, seed: int = 0,
+        out_dir=None, round_size: int = ROUND_SIZE,
+        max_shrinks: int = 2) -> ExperimentReport:
+    """One full fuzz campaign; returns the printable report."""
+    weights = AdaptiveWeights(base=DEFAULT_WEIGHTS)
+    runner = SweepRunner(jobs)
+    outcomes: list[tuple[int, Scenario, dict]] = []
+    index = 0
+    while index < budget:
+        count = min(round_size, budget - index)
+        grammar = ScenarioGrammar(weights.snapshot())
+        scenarios = [grammar.generate(seed, index + offset)
+                     for offset in range(count)]
+        cells = [SweepCell(f"fuzz:{index + offset:04d}:"
+                           f"{scenario.scenario_id}",
+                           fuzz_cell, {"scenario": scenario.to_json()})
+                 for offset, scenario in enumerate(scenarios)]
+        for offset, (scenario, value) in enumerate(
+                zip(scenarios, runner.run(cells))):
+            violated = bool(value["violations"]) or bool(value["error"])
+            interest = interest_score(
+                _digest_or_none(value["main"]),
+                _digest_or_none(value["baseline"]))
+            weights.observe(scenario.rules, violated, interest)
+            outcomes.append((index + offset, scenario, value))
+        index += count
+
+    violating = [(position, scenario, value)
+                 for position, scenario, value in outcomes
+                 if value["violations"]]
+    shrunk_rows = []
+    artifacts = []
+    seen_signatures: set = set()
+    for position, scenario, value in violating:
+        if len(shrunk_rows) >= max_shrinks:
+            break
+        names = frozenset(v["oracle"] for v in value["violations"])
+        signature = (scenario.query, names)
+        if signature in seen_signatures:
+            continue
+        seen_signatures.add(signature)
+        shrunk, probes = shrink_scenario(scenario, reproducer(names))
+        final = check_all(probe_scenario(shrunk))
+        shrunk_rows.append([
+            f"shrunk:{scenario.scenario_id}",
+            f"{scenario.scenario_id} -> {shrunk.scenario_id} "
+            f"(size {scenario_size(scenario)} -> "
+            f"{scenario_size(shrunk)}, {probes} probes, "
+            f"oracles: {', '.join(sorted(names))})"])
+        artifacts.append((shrunk, final))
+
+    if out_dir is not None:
+        directory = pathlib.Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "corpus.jsonl", "w",
+                  encoding="utf-8") as handle:
+            for position, _scenario, value in outcomes:
+                record = {"index": position, **value}
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with open(directory / "weights.json", "w",
+                  encoding="utf-8") as handle:
+            json.dump(weights.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        for shrunk, final in artifacts:
+            write_repro(shrunk, final,
+                        directory / f"repro_{shrunk.scenario_id}.json")
+            emit_regression(
+                shrunk, final,
+                directory / f"test_shrunk_{shrunk.scenario_id}.py")
+
+    oracle_counts: dict[str, int] = {}
+    for _position, _scenario, value in violating:
+        for violation in value["violations"]:
+            oracle = violation["oracle"]
+            oracle_counts[oracle] = oracle_counts.get(oracle, 0) + 1
+    rows = [
+        ["grammar", f"v{GRAMMAR_VERSION}"],
+        ["budget", budget],
+        ["seed", seed],
+        ["round size", min(round_size, budget) if budget else 0],
+        ["scenarios run", len(outcomes)],
+        ["violating scenarios", len(violating)],
+        ["violating ids",
+         ", ".join(value["id"]
+                   for _p, _s, value in violating) or "-"],
+    ]
+    rows.extend([f"violations:{oracle}", count]
+                for oracle, count in sorted(oracle_counts.items()))
+    hottest = weights.hottest()
+    rows.append(["hottest rules",
+                 ", ".join(f"{rule}={weight}"
+                           for rule, weight in hottest) or "-"])
+    rows.extend(shrunk_rows)
+    return ExperimentReport(
+        experiment_id="fuzz",
+        title="Grammar-driven scenario fuzzing (adaptive, seeded)",
+        columns=["metric", "value"],
+        rows=rows,
+        notes=("Every scenario is a pure function of (grammar "
+               "version, master seed, corpus index, rule weights); "
+               "weights evolve between fixed-size rounds from "
+               "outcomes in corpus order, so the corpus, this report "
+               "and any shrunk repros are byte-identical for any "
+               "--jobs value.  Probe plan per scenario: main run, "
+               "identical rerun, batch_size=1 run, metrics-off/"
+               "chaos-disabled run, static baseline."))

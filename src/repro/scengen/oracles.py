@@ -1,0 +1,227 @@
+"""Invariant oracles over one scenario's probe runs.
+
+The runner executes each generated scenario several times (the main
+run, an identical rerun, a ``batch_size=1`` run, a quiet run with
+metrics disabled and an explicitly *disabled* chaos config, and the
+static unperturbed baseline) and condenses every run to a
+:class:`RunDigest`.  Oracles are plain functions from the resulting
+:class:`ProbeOutcome` to a list of :class:`Violation` — pluggable via
+:data:`ORACLES`, so later subsystems can register their own checks
+without touching the runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Convergence bounds: an adaptive run that deploys more adaptations
+#: than this, or moves-and-reverses more workload mass, is hunting,
+#: not converging.  Generous on purpose — the fuzzer's zero-violation
+#: CI gate must not trip on a merely sub-optimal controller.
+MAX_ADAPTATIONS = 32
+MAX_OSCILLATION = 8.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RunDigest:
+    """Everything an oracle may ask about one finished run.
+
+    ``rows_sha`` hashes the *sorted* row reprs (adaptation legally
+    reorders arrival), ``trace_sha`` the full adaptivity-trace
+    timeline in order, ``events`` the DES events scheduled.
+    ``sink_rows``/``sink_discards`` read the root exchange channel's
+    counters (-1 when metrics were off for that run).
+    """
+
+    rows_sha: str
+    rows_count: int
+    trace_sha: str
+    response_ms: float
+    events: int
+    adaptations: int
+    oscillation: float
+    sink_rows: int = -1
+    sink_discards: int = -1
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, record: typing.Mapping) -> "RunDigest":
+        return cls(**record)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeOutcome:
+    """The digests of one scenario's probe plan.
+
+    ``unit_batch`` is None when the scenario already ran at
+    ``batch_size=1``; ``error`` carries the exception text when a run
+    crashed (in which case the other fields hold the baseline only).
+    """
+
+    scenario: dict
+    main: RunDigest | None
+    rerun: RunDigest | None
+    unit_batch: RunDigest | None
+    quiet: RunDigest | None
+    baseline: RunDigest | None
+    error: str = ""
+
+    @property
+    def has_chaos(self) -> bool:
+        return self.scenario.get("chaos") is not None
+
+    @property
+    def adaptive(self) -> bool:
+        return self.scenario.get("policy") != "static"
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One oracle's verdict that a scenario broke an invariant."""
+
+    oracle: str
+    detail: str
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def check_no_crash(outcome: ProbeOutcome) -> list[Violation]:
+    """No generated configuration may raise out of the engine."""
+    if outcome.error:
+        return [Violation("no-crash", outcome.error)]
+    return []
+
+
+def check_determinism(outcome: ProbeOutcome) -> list[Violation]:
+    """Two runs of one scenario are bit-identical, chaos included."""
+    if outcome.main is None or outcome.rerun is None:
+        return []
+    if outcome.main != outcome.rerun:
+        return [Violation(
+            "determinism",
+            f"rerun diverged: {outcome.main.to_json()} != "
+            f"{outcome.rerun.to_json()}")]
+    return []
+
+
+def check_batch_identity(outcome: ProbeOutcome) -> list[Violation]:
+    """``batch_size=1`` returns the same row multiset as ``bs=N``."""
+    if outcome.main is None or outcome.unit_batch is None:
+        return []
+    if outcome.unit_batch.rows_sha != outcome.main.rows_sha:
+        return [Violation(
+            "batch-identity",
+            f"bs=1 rows {outcome.unit_batch.rows_sha} "
+            f"({outcome.unit_batch.rows_count}) != "
+            f"bs={outcome.scenario.get('batch_size')} rows "
+            f"{outcome.main.rows_sha} ({outcome.main.rows_count})")]
+    return []
+
+
+def check_zero_cost(outcome: ProbeOutcome) -> list[Violation]:
+    """Metrics off + a *disabled* chaos config cost nothing.
+
+    The quiet run disables the metrics registry and passes an
+    explicitly disabled ``ChaosConfig`` where the main run passed
+    None (or keeps the scenario's enabled one); its timeline — rows,
+    trace, response, DES event count — must be bit-identical.
+    """
+    if outcome.main is None or outcome.quiet is None:
+        return []
+    main, quiet = outcome.main, outcome.quiet
+    same = (quiet.rows_sha == main.rows_sha
+            and quiet.trace_sha == main.trace_sha
+            and quiet.response_ms == main.response_ms
+            and quiet.events == main.events)
+    if not same:
+        return [Violation(
+            "zero-cost",
+            f"metrics-off/chaos-disabled run diverged: "
+            f"events {quiet.events} != {main.events} or trace "
+            f"{quiet.trace_sha} != {main.trace_sha}")]
+    return []
+
+
+def check_row_conservation(outcome: ProbeOutcome) -> list[Violation]:
+    """Rows survive the exchanges: none invented, none lost.
+
+    Two forms: the result multiset equals the static baseline's (the
+    query's answer does not depend on adaptation, perturbation or —
+    thanks to retries and dedup — injected faults), and on fault-free
+    runs the root exchange channel's received-minus-discarded counter
+    equals the result cardinality.
+    """
+    if outcome.main is None or outcome.baseline is None:
+        return []
+    violations = []
+    if outcome.main.rows_sha != outcome.baseline.rows_sha:
+        violations.append(Violation(
+            "row-conservation",
+            f"result rows diverge from static baseline: "
+            f"{outcome.main.rows_count} rows "
+            f"({outcome.main.rows_sha}) vs baseline "
+            f"{outcome.baseline.rows_count} rows "
+            f"({outcome.baseline.rows_sha})"))
+    if not outcome.has_chaos and outcome.main.sink_rows >= 0:
+        delivered = outcome.main.sink_rows - max(
+            0, outcome.main.sink_discards)
+        # Retrospective replay legitimately re-delivers join outputs
+        # (the sink dedups by provenance), so an adaptive run may see
+        # *more* rows at the root channel than the result — never
+        # fewer, and a static run may see neither.
+        invented = delivered < outcome.main.rows_count
+        unexplained = (delivered > outcome.main.rows_count
+                       and not outcome.adaptive)
+        if invented or unexplained:
+            violations.append(Violation(
+                "row-conservation",
+                f"root channel delivered {delivered} rows but the "
+                f"result has {outcome.main.rows_count}"))
+    return violations
+
+
+def check_convergence(outcome: ProbeOutcome) -> list[Violation]:
+    """The control loop settles instead of hunting."""
+    if outcome.main is None or not outcome.adaptive:
+        return []
+    violations = []
+    if outcome.main.adaptations > MAX_ADAPTATIONS:
+        violations.append(Violation(
+            "convergence",
+            f"{outcome.main.adaptations} adaptations exceeds the "
+            f"bound of {MAX_ADAPTATIONS}"))
+    if outcome.main.oscillation > MAX_OSCILLATION:
+        violations.append(Violation(
+            "convergence",
+            f"oscillation {outcome.main.oscillation:.3f} exceeds "
+            f"the bound of {MAX_OSCILLATION}"))
+    return violations
+
+
+#: Pluggable oracle registry: name -> ProbeOutcome -> [Violation].
+ORACLES: dict[str, typing.Callable[[ProbeOutcome], list]] = {
+    "no-crash": check_no_crash,
+    "determinism": check_determinism,
+    "batch-identity": check_batch_identity,
+    "zero-cost": check_zero_cost,
+    "row-conservation": check_row_conservation,
+    "convergence": check_convergence,
+}
+
+
+def default_oracles() -> tuple:
+    return tuple(ORACLES)
+
+
+def check_all(outcome: ProbeOutcome,
+              oracles: typing.Iterable[str] | None = None) -> list:
+    """Run ``oracles`` (default: all registered) over one outcome."""
+    names = tuple(oracles) if oracles is not None else default_oracles()
+    violations: list = []
+    for name in names:
+        violations.extend(ORACLES[name](outcome))
+    return violations

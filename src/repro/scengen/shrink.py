@@ -1,0 +1,183 @@
+"""Greedy scenario minimisation and regression-test emission.
+
+Given a violating scenario, :func:`shrink_scenario` repeatedly tries
+strictly-smaller variants — drop the chaos schedule, drop individual
+faults and perturbations, halve data sizes, shed the third machine,
+shrink the batch, zero the world seed — and keeps the first variant
+on which the violation still reproduces.  Every candidate has a
+strictly smaller :func:`scenario_size`, and the size is a
+non-negative integer, so the loop provably terminates; a probe cap
+bounds wall-clock besides.
+
+The shrunk scenario is emitted twice: a JSON repro artifact
+(machine-readable, replayable with ``probe_scenario``) and a
+self-contained pytest file ready to commit under
+``tests/regressions/`` — the shipped regression suite runs in tier-1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pprint
+import typing
+
+from repro.scengen.grammar import ChaosRule, Scenario
+from repro.scengen.oracles import check_all
+from repro.scengen.runner import probe_scenario
+
+_MIN_ROWS = 12
+
+
+def scenario_size(scenario: Scenario) -> int:
+    """The strictly-decreasing metric the shrinker minimises."""
+    size = scenario.sequences + scenario.interactions
+    size += 40 * len(scenario.perturbations)
+    if scenario.chaos is not None:
+        chaos = scenario.chaos
+        size += 20
+        size += 20 * len(chaos.freezes)
+        size += sum(10 for knob in (chaos.drop, chaos.duplicate,
+                                    chaos.delay, chaos.ws_failure)
+                    if knob > 0)
+    size += 30 * (scenario.compute_machines - 2)
+    size += scenario.batch_size
+    size += scenario.world_seed
+    size += 10 if scenario.fault_tolerance else 0
+    return size
+
+
+def _simplified_chaos(chaos: ChaosRule) -> ChaosRule | None:
+    """Collapse an all-zero chaos rule to None (no empty-but-enabled
+    schedule: enabling chaos swaps in the retry send path, which is
+    not what 'no faults' means)."""
+    empty = (chaos.drop == 0 and chaos.duplicate == 0
+             and chaos.delay == 0 and chaos.ws_failure == 0
+             and not chaos.freezes)
+    return None if empty else chaos
+
+
+def _candidates(scenario: Scenario
+                ) -> typing.Iterator[Scenario]:
+    """Strictly-smaller variants, most aggressive first."""
+    chaos = scenario.chaos
+    if chaos is not None:
+        yield scenario.replace(chaos=None, fault_tolerance=False)
+        for index in range(len(chaos.freezes)):
+            freezes = (chaos.freezes[:index]
+                       + chaos.freezes[index + 1:])
+            trimmed = dataclasses.replace(chaos, freezes=freezes)
+            yield scenario.replace(chaos=_simplified_chaos(trimmed))
+        for knob in ("drop", "duplicate", "delay", "ws_failure"):
+            if getattr(chaos, knob) > 0:
+                trimmed = dataclasses.replace(chaos, **{knob: 0.0})
+                yield scenario.replace(chaos=_simplified_chaos(trimmed))
+    for index in range(len(scenario.perturbations)):
+        perturbations = (scenario.perturbations[:index]
+                         + scenario.perturbations[index + 1:])
+        yield scenario.replace(perturbations=perturbations)
+    if scenario.fault_tolerance:
+        yield scenario.replace(fault_tolerance=False)
+    for field, floor in (("sequences", _MIN_ROWS),
+                         ("interactions", _MIN_ROWS)):
+        value = getattr(scenario, field)
+        halved = max(floor, value // 2)
+        if halved < value:
+            yield scenario.replace(**{field: halved})
+    if scenario.compute_machines > 2:
+        yield scenario.replace(compute_machines=2)
+    if scenario.batch_size > 1:
+        yield scenario.replace(batch_size=max(1, scenario.batch_size // 2))
+    if scenario.world_seed > 0:
+        yield scenario.replace(world_seed=0)
+
+
+def reproducer(oracle_names: typing.Collection[str]
+               ) -> typing.Callable[[Scenario], bool]:
+    """A predicate: does the scenario still violate one of these?"""
+    names = frozenset(oracle_names)
+
+    def reproduces(scenario: Scenario) -> bool:
+        violations = check_all(probe_scenario(scenario))
+        return any(v.oracle in names for v in violations)
+
+    return reproduces
+
+
+def shrink_scenario(scenario: Scenario,
+                    reproduces: typing.Callable[[Scenario], bool],
+                    max_probes: int = 200
+                    ) -> tuple[Scenario, int]:
+    """Greedily minimise ``scenario`` while ``reproduces`` holds.
+
+    Returns the smallest reproducing scenario found and the number
+    of probe runs spent.  Deterministic: candidates are tried in a
+    fixed order and the first reproducing one is taken.
+    """
+    current = scenario
+    probes = 0
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for candidate in _candidates(current):
+            if scenario_size(candidate) >= scenario_size(current):
+                continue
+            probes += 1
+            if reproduces(candidate):
+                current = candidate
+                improved = True
+                break
+            if probes >= max_probes:
+                break
+    return current, probes
+
+
+def write_repro(scenario: Scenario, violations: list, path) -> None:
+    """The machine-readable repro artifact for one shrunk scenario."""
+    record = {
+        "grammar_version": scenario.grammar_version,
+        "scenario_id": scenario.scenario_id,
+        "scenario": scenario.to_json(),
+        "violations": [v.to_json() for v in violations],
+        "replay": ("probe_scenario(Scenario.from_json(record"
+                   "['scenario']))"),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+_REGRESSION_TEMPLATE = '''\
+"""Shrunk fuzzer repro: {oracles} violation(s).
+
+Auto-generated by ``repro.scengen`` (grammar v{version}, scenario
+{scenario_id}); the scenario dict below is the shrinker's minimal
+reproduction.  Regenerate with the shrinker rather than hand-editing.
+"""
+
+from repro.scengen.grammar import Scenario
+from repro.scengen.oracles import check_all
+from repro.scengen.runner import probe_scenario
+
+SCENARIO = {scenario_literal}
+
+
+def test_shrunk_scenario_{suffix}_holds_invariants():
+    outcome = probe_scenario(Scenario.from_json(SCENARIO))
+    violations = [v.to_json() for v in check_all(outcome)]
+    assert violations == []
+'''
+
+
+def emit_regression(scenario: Scenario, violations: list, path) -> None:
+    """A self-contained pytest file asserting the invariants hold."""
+    oracles = ", ".join(sorted({v.oracle for v in violations}))
+    source = _REGRESSION_TEMPLATE.format(
+        oracles=oracles or "invariant",
+        version=scenario.grammar_version,
+        scenario_id=scenario.scenario_id,
+        scenario_literal=pprint.pformat(scenario.to_json(), width=68,
+                                        sort_dicts=True),
+        suffix=scenario.scenario_id)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(source)

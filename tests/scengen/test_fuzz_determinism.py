@@ -1,0 +1,67 @@
+"""The campaign is byte-identical across reruns and ``jobs`` values.
+
+This is the fuzzing subsystem's own bit-reproducibility contract: the
+corpus file, the learned weights and the report depend only on
+``(grammar version, master seed, budget, round size)`` — never on the
+fork-pool parallelism or wall-clock.  A small budget keeps this in
+tier-1; CI's ``fuzz-smoke`` job runs the same check at the CLI level.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.scengen.fuzz import run
+
+_BUDGET = 6
+_ROUND = 3  # two rounds, so weight evolution is part of what's pinned
+
+
+@pytest.fixture(scope="module")
+def campaigns(tmp_path_factory):
+    """The same small campaign under three parallelism settings."""
+    outputs = {}
+    for label, jobs in (("serial", 1), ("serial-rerun", 1),
+                        ("forked", 2)):
+        out_dir = tmp_path_factory.mktemp(label)
+        report = run(jobs=jobs, budget=_BUDGET, seed=0,
+                     out_dir=out_dir, round_size=_ROUND)
+        outputs[label] = (out_dir, report)
+    return outputs
+
+
+def _artifact(out_dir: pathlib.Path, name: str) -> bytes:
+    return (out_dir / name).read_bytes()
+
+
+def test_rerun_byte_identical(campaigns):
+    first, _ = campaigns["serial"]
+    second, _ = campaigns["serial-rerun"]
+    assert _artifact(first, "corpus.jsonl") == _artifact(
+        second, "corpus.jsonl")
+    assert _artifact(first, "weights.json") == _artifact(
+        second, "weights.json")
+
+
+def test_jobs_independent_corpus(campaigns):
+    serial, _ = campaigns["serial"]
+    forked, _ = campaigns["forked"]
+    assert _artifact(serial, "corpus.jsonl") == _artifact(
+        forked, "corpus.jsonl")
+    assert _artifact(serial, "weights.json") == _artifact(
+        forked, "weights.json")
+
+
+def test_jobs_independent_report(campaigns):
+    _, serial_report = campaigns["serial"]
+    _, forked_report = campaigns["forked"]
+    assert serial_report.rows == forked_report.rows
+    assert serial_report.columns == forked_report.columns
+
+
+def test_corpus_covers_budget(campaigns):
+    out_dir, report = campaigns["serial"]
+    lines = _artifact(out_dir, "corpus.jsonl").decode().splitlines()
+    assert len(lines) == _BUDGET
+    as_dict = dict(report.rows)
+    assert as_dict["scenarios run"] == _BUDGET

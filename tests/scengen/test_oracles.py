@@ -1,0 +1,126 @@
+"""Unit coverage of the invariant oracles over synthetic outcomes."""
+
+import dataclasses
+
+from repro.scengen.oracles import (
+    MAX_ADAPTATIONS,
+    MAX_OSCILLATION,
+    ProbeOutcome,
+    RunDigest,
+    check_all,
+    default_oracles,
+)
+
+_DIGEST = RunDigest(rows_sha="aa", rows_count=10, trace_sha="bb",
+                    response_ms=100.0, events=1000, adaptations=1,
+                    oscillation=0.0, sink_rows=10, sink_discards=0)
+
+
+def _scenario(policy="paper-A1R1", chaos=None, batch_size=4):
+    return {"policy": policy, "chaos": chaos, "batch_size": batch_size}
+
+
+def _outcome(**overrides) -> ProbeOutcome:
+    fields = dict(scenario=_scenario(), main=_DIGEST, rerun=_DIGEST,
+                  unit_batch=_DIGEST, quiet=_DIGEST, baseline=_DIGEST,
+                  error="")
+    fields.update(overrides)
+    return ProbeOutcome(**fields)
+
+
+def _oracles(outcome):
+    return {v.oracle for v in check_all(outcome)}
+
+
+class TestCleanOutcome:
+    def test_no_violations(self):
+        assert check_all(_outcome()) == []
+
+    def test_registry_names(self):
+        assert set(default_oracles()) == {
+            "no-crash", "determinism", "batch-identity", "zero-cost",
+            "row-conservation", "convergence"}
+
+
+class TestNoCrash:
+    def test_error_reported(self):
+        outcome = _outcome(error="ExecutionError: boom", main=None,
+                           rerun=None, unit_batch=None, quiet=None)
+        assert _oracles(outcome) == {"no-crash"}
+
+
+class TestDeterminism:
+    def test_rerun_divergence_reported(self):
+        diverged = dataclasses.replace(_DIGEST, trace_sha="other")
+        assert "determinism" in _oracles(_outcome(rerun=diverged))
+
+
+class TestBatchIdentity:
+    def test_row_multiset_must_match(self):
+        diverged = dataclasses.replace(_DIGEST, rows_sha="other")
+        assert "batch-identity" in _oracles(_outcome(unit_batch=diverged))
+
+    def test_skipped_when_already_unit_batch(self):
+        assert check_all(_outcome(unit_batch=None)) == []
+
+
+class TestZeroCost:
+    def test_event_count_divergence_reported(self):
+        diverged = dataclasses.replace(_DIGEST, events=1001)
+        assert "zero-cost" in _oracles(_outcome(quiet=diverged))
+
+
+class TestRowConservation:
+    def test_baseline_divergence_reported(self):
+        diverged = dataclasses.replace(_DIGEST, rows_sha="other")
+        assert "row-conservation" in _oracles(_outcome(main=diverged))
+
+    def test_invented_rows_reported(self):
+        short = dataclasses.replace(_DIGEST, sink_rows=9)
+        assert "row-conservation" in _oracles(_outcome(main=short))
+
+    def test_adaptive_replay_overdelivery_tolerated(self):
+        # Retrospective replay re-delivers join outputs; the sink
+        # dedups them, so delivered > result is fine on adaptive runs.
+        over = dataclasses.replace(_DIGEST, sink_rows=11)
+        assert check_all(_outcome(main=over, rerun=over)) == []
+
+    def test_static_overdelivery_reported(self):
+        over = dataclasses.replace(_DIGEST, sink_rows=11)
+        outcome = _outcome(scenario=_scenario(policy="static"),
+                           main=over, rerun=over, unit_batch=over,
+                           quiet=over, baseline=over)
+        assert "row-conservation" in _oracles(outcome)
+
+    def test_sink_accounting_skipped_under_chaos(self):
+        # Chaos retries/dedup legally skew the root-channel counters;
+        # under chaos only the result multiset is checked.
+        short = dataclasses.replace(_DIGEST, sink_rows=9)
+        outcome = _outcome(scenario=_scenario(chaos={"drop": 0.02}),
+                           main=short, rerun=short, unit_batch=short,
+                           quiet=short, baseline=_DIGEST)
+        assert check_all(outcome) == []
+
+
+class TestConvergence:
+    def test_adaptation_bound(self):
+        hunting = dataclasses.replace(_DIGEST,
+                                      adaptations=MAX_ADAPTATIONS + 1)
+        assert "convergence" in _oracles(_outcome(main=hunting))
+
+    def test_oscillation_bound(self):
+        hunting = dataclasses.replace(_DIGEST,
+                                      oscillation=MAX_OSCILLATION + 1)
+        assert "convergence" in _oracles(_outcome(main=hunting))
+
+    def test_static_runs_exempt(self):
+        hunting = dataclasses.replace(_DIGEST, adaptations=99)
+        outcome = _outcome(scenario=_scenario(policy="static"),
+                           main=hunting, rerun=hunting,
+                           unit_batch=hunting, quiet=hunting,
+                           baseline=hunting)
+        assert "convergence" not in _oracles(outcome)
+
+
+def test_digest_json_round_trip():
+    assert RunDigest.from_json(_DIGEST.to_json()) == _DIGEST

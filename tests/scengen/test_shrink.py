@@ -1,0 +1,101 @@
+"""Shrinker termination, determinism and minimality — no engine runs.
+
+The predicate here is synthetic (pure function of the scenario), so
+these tests pin the shrinking *algorithm*: the real reproducer is
+exercised end to end by the fuzz campaign and the shipped
+regressions under ``tests/regressions/``.
+"""
+
+import pathlib
+
+from repro.scengen.grammar import ChaosRule, FreezeRule, Scenario
+from repro.scengen.shrink import (
+    _candidates,
+    emit_regression,
+    scenario_size,
+    shrink_scenario,
+)
+from repro.scengen.oracles import Violation
+
+
+def _big_scenario() -> Scenario:
+    return Scenario(
+        grammar_version=1, seed=42, query="Q2",
+        sequences=200, interactions=300, world_seed=3,
+        compute_machines=3, batch_size=32,
+        policy="paper-A1R1", pacing="twitchy",
+        perturbations=(),
+        chaos=ChaosRule(drop=0.02, duplicate=0.02,
+                        freezes=(FreezeRule(1, 900.0, 1500.0),)),
+        fault_tolerance=True,
+        rules=("query:Q2",))
+
+
+def test_candidates_strictly_smaller():
+    scenario = _big_scenario()
+    size = scenario_size(scenario)
+    candidates = list(_candidates(scenario))
+    assert candidates
+    for candidate in candidates:
+        assert scenario_size(candidate) < size
+
+
+def test_shrink_terminates_and_is_minimal():
+    # "The bug" needs the freeze and at least 100 probe-side rows.
+    def reproduces(scenario):
+        has_freeze = (scenario.chaos is not None
+                      and bool(scenario.chaos.freezes))
+        return has_freeze and scenario.interactions >= 100
+
+    scenario = _big_scenario()
+    shrunk, probes = shrink_scenario(scenario, reproduces)
+    assert reproduces(shrunk)
+    assert scenario_size(shrunk) < scenario_size(scenario)
+    assert probes <= 200
+    # 1-minimal under the candidate moves: no smaller step reproduces.
+    for candidate in _candidates(shrunk):
+        assert not reproduces(candidate)
+    # The irrelevant axes were fully shed.
+    assert shrunk.chaos.drop == 0.0
+    assert shrunk.chaos.duplicate == 0.0
+    assert shrunk.compute_machines == 2
+    assert shrunk.batch_size == 1
+    assert shrunk.world_seed == 0
+
+
+def test_shrink_deterministic():
+    def reproduces(scenario):
+        return scenario.sequences >= 50
+
+    first, first_probes = shrink_scenario(_big_scenario(), reproduces)
+    second, second_probes = shrink_scenario(_big_scenario(), reproduces)
+    assert first == second
+    assert first_probes == second_probes
+
+
+def test_shrink_respects_probe_cap():
+    calls = []
+
+    def reproduces(scenario):
+        calls.append(scenario)
+        return scenario.sequences >= 50
+
+    shrink_scenario(_big_scenario(), reproduces, max_probes=3)
+    assert len(calls) <= 3
+
+
+def test_shrink_keeps_original_when_nothing_reproduces():
+    scenario = _big_scenario()
+    shrunk, _probes = shrink_scenario(scenario, lambda _s: False)
+    assert shrunk == scenario
+
+
+def test_emit_regression_is_valid_python(tmp_path: pathlib.Path):
+    scenario = _big_scenario()
+    path = tmp_path / f"test_shrunk_{scenario.scenario_id}.py"
+    emit_regression(scenario,
+                    [Violation("row-conservation", "lost a row")], path)
+    source = path.read_text(encoding="utf-8")
+    compile(source, str(path), "exec")
+    assert f"test_shrunk_scenario_{scenario.scenario_id}" in source
+    assert "row-conservation" in source

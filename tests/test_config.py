@@ -64,8 +64,14 @@ class TestEngineConfig:
         assert config.logging_enabled
 
     @pytest.mark.parametrize("kwargs", [
+        {"batch_size": 0},
+        {"batch_size": -1},
+        {"batch_size": 2.5},
+        {"batch_size": True},
         {"buffer_size": 0},
+        {"buffer_size": 50.0},
         {"checkpoint_interval": 0},
+        {"checkpoint_interval": "50"},
     ])
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
