@@ -290,6 +290,15 @@ class EngineConfig:
     #: ``events_scheduled`` — so False exists purely as the A/B
     #: reference for equivalence testing and overhead measurement.
     kernel_fast_path: bool = True
+    #: Whether the columnar data plane is active: morsels travel as
+    #: column-backed :class:`~repro.data.batch.Batch` blocks (lazy
+    #: ``Row`` materialization) and exchange buffers ship whole blocks
+    #: instead of per-tuple wire entries.  Like ``kernel_fast_path``
+    #: this is a host-cost knob only — rows, timeline and
+    #: ``events_scheduled`` are identical either way — and
+    #: ``batch_size=1`` degrades the columnar path to the original
+    #: per-tuple semantics regardless of this flag.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         # The three sizes drive range() bounds and chunk arithmetic all

@@ -48,6 +48,24 @@ class Row:
         return Row(tuple(values), self.tid)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class ColumnPredicate:
+    """A single-column predicate that exposes its structure.
+
+    Callable on a :class:`Row` like any opaque predicate, but carrying
+    ``position`` and ``test`` so the vectorized ``Select`` path can run
+    ``test`` directly over a column array instead of materializing rows.
+    ``description`` feeds plan explanations.
+    """
+
+    position: int
+    test: typing.Callable[[typing.Any], bool]
+    description: str = "predicate"
+
+    def __call__(self, row: Row) -> bool:
+        return self.test(row.values[self.position])
+
+
 def make_base_tid(table_name: str, ordinal: int) -> str:
     """Provenance id for the ``ordinal``-th tuple of a base table."""
     return f"{table_name}#{ordinal}"

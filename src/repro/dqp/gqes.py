@@ -22,6 +22,7 @@ import typing
 
 from repro.config import CostModel, EngineConfig, FaultToleranceConfig
 from repro.core.monitoring import MonitoringEventDetector
+from repro.data.batch import Batch
 from repro.engine.control import (
     ChannelAnnouncement,
     DataBuffer,
@@ -110,46 +111,83 @@ class GQES(GridService):
 
     # -- data path ----------------------------------------------------------
 
-    def on_data(self, message: Message) -> None:
-        self.env.process(self._ingest_data(message),
-                         name=f"{self.name}:ingest-data")
+    # Ingest is a callback chain rather than a per-message process:
+    # each chain schedules the same events at the same positions as the
+    # old ingest-data/ingest-control process (kick event where the
+    # bootstrap was, with the CPU charge issued at the kick's dispatch
+    # exactly where the generator's first statement ran), and
+    # compensates the process completion event — a callback-less no-op
+    # dispatch — with ``env._seq += 1`` where the generator returned.
+    # ``_ingests_active`` is raised at the kick's dispatch and dropped
+    # just before the compensation, matching the old generator's
+    # try/finally, so quiescence detection observes the same windows.
 
-    def _ingest_data(self, message: Message) -> typing.Generator:
-        self._ingests_active += 1
-        try:
+    def on_data(self, message: Message) -> None:
+        env = self.env
+
+        def on_kick(_event) -> None:
+            self._ingests_active += 1
             buffer: DataBuffer = message.payload
             serialization = self.context.serialization
-            yield self.machine.cpu.execute(
-                serialization.deserialize_work(buffer.tuple_count),
+            # Per-column deserialization term: blocks on the columnar
+            # wire decode column-at-a-time (0 columns for per-row wire
+            # entries, and the per-column cost defaults to 0 anyway, so
+            # the default timeline is unchanged).
+            column_count = 0
+            for item in buffer.items:
+                if isinstance(item, Batch) and item.width > column_count:
+                    column_count = item.width
+            task = self.machine.cpu.execute(
+                serialization.deserialize_work(buffer.tuple_count,
+                                               column_count),
                 label="deserialize")
-            try:
-                consumer, fragment = self._consumers[buffer.channel_key]
-            except KeyError:
-                raise ServiceError(
-                    f"{self.name}: data for unknown channel "
-                    f"{buffer.channel_key}") from None
-            consumer.deliver(buffer.producer_id, message.sender,
-                             buffer.items)
-            fragment.wake()
-        finally:
-            self._ingests_active -= 1
+
+            def on_deserialized(_event) -> None:
+                try:
+                    try:
+                        consumer, fragment = self._consumers[
+                            buffer.channel_key]
+                    except KeyError:
+                        raise ServiceError(
+                            f"{self.name}: data for unknown channel "
+                            f"{buffer.channel_key}") from None
+                    consumer.deliver(buffer.producer_id, message.sender,
+                                     buffer.items)
+                    fragment.wake()
+                finally:
+                    self._ingests_active -= 1
+                env._seq += 1
+
+            task.callbacks.append(on_deserialized)
+
+        kick = self.env.event()
+        kick.callbacks.append(on_kick)
+        kick.succeed(None)
 
     # -- control path ---------------------------------------------------------
 
     def on_control(self, message: Message) -> None:
-        self.env.process(self._ingest_control(message),
-                         name=f"{self.name}:ingest-control")
+        env = self.env
 
-    def _ingest_control(self, message: Message) -> typing.Generator:
-        self._ingests_active += 1
-        try:
-            yield from self._ingest_control_inner(message)
-        finally:
-            self._ingests_active -= 1
+        def on_kick(_event) -> None:
+            self._ingests_active += 1
+            task = self.machine.cpu.execute(self.cost.control_event_work,
+                                            label="control")
 
-    def _ingest_control_inner(self, message: Message) -> typing.Generator:
-        yield self.machine.cpu.execute(self.cost.control_event_work,
-                                       label="control")
+            def on_charged(_event) -> None:
+                try:
+                    self._apply_control(message)
+                finally:
+                    self._ingests_active -= 1
+                env._seq += 1
+
+            task.callbacks.append(on_charged)
+
+        kick = self.env.event()
+        kick.callbacks.append(on_kick)
+        kick.succeed(None)
+
+    def _apply_control(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, DiscardTuples):
             self._apply_discard(payload)

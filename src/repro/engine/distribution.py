@@ -22,6 +22,7 @@ import abc
 import typing
 import zlib
 
+from repro.data.batch import Batch
 from repro.data.tuples import Row
 from repro.errors import AdaptationError
 
@@ -88,7 +89,7 @@ class DistributionPolicy(abc.ABC):
         """Consumer index for ``row``."""
 
     def route_batch(self, rows: typing.Sequence[Row]
-                    ) -> list[tuple[int, list[Row]]]:
+                    ) -> list[tuple[int, typing.Sequence[Row]]]:
         """Split a batch by destination, preserving per-channel order.
 
         Routes the rows in sequence — so stateful policies (round-robin
@@ -96,6 +97,10 @@ class DistributionPolicy(abc.ABC):
         would — and returns ``(consumer_index, rows)`` groups in
         first-appearance order.  A batch under a changing weight vector
         therefore splits identically to the per-tuple stream.
+
+        ``rows`` may be a :class:`~repro.data.batch.Batch`; a group's
+        row container may likewise be a ``Batch`` (the single-consumer
+        pass-through), so callers must not assume ``list``.
         """
         grouped: dict[int, list[Row]] = {}
         for row in rows:
@@ -131,6 +136,47 @@ class WeightedRoundRobin(DistributionPolicy):
         best = max(range(self.consumer_count), key=lambda i: self._credit[i])
         self._credit[best] -= 1.0
         return best
+
+    def route_batch(self, rows: typing.Sequence[Row]
+                    ) -> list[tuple[int, typing.Sequence[Row]]]:
+        # Single consumer: every route picks index 0 and leaves the
+        # credit at exactly 0.0 (+1.0, max, -1.0), so skipping the
+        # per-row credit walk is state- and output-identical.  The
+        # whole batch passes through unsplit — on the columnar plane
+        # this keeps a column-backed Batch intact with zero per-row
+        # work (the compute -> sink channel is always WRR-of-1).
+        if self.consumer_count == 1:
+            return [(0, rows)] if len(rows) else []
+        if isinstance(rows, Batch) and rows.is_columnar:
+            # The credit walk never reads row content, so a columnar
+            # batch routes without materializing a single Row: compute
+            # the target sequence (advancing the credits exactly as
+            # len(rows) route() calls would), then gather columns per
+            # target in first-appearance order.
+            count = len(rows)
+            if count == 0:
+                return []
+            credit = self._credit
+            weights = self.weights
+            indices = range(self.consumer_count)
+            groups: dict[int, list[int]] = {}
+            for position in range(count):
+                for index in indices:
+                    credit[index] += weights[index]
+                best = max(indices, key=lambda i: credit[i])
+                credit[best] -= 1.0
+                groups.setdefault(best, []).append(position)
+            if len(groups) == 1:
+                return [(next(iter(groups)), rows)]
+            columns = rows.columns()
+            tids = rows.tids()
+            return [(target,
+                     Batch.from_columns(
+                         [[column[i] for i in positions]
+                          for column in columns],
+                         [tids[i] for i in positions]))
+                    for target, positions in groups.items()]
+        return DistributionPolicy.route_batch(self, rows)
 
     def update_weights(self, weights: typing.Sequence[float]) -> None:
         self.weights = normalise_weights(weights)
@@ -180,6 +226,47 @@ class HashBucketPolicy(DistributionPolicy):
 
     def route(self, row: Row) -> int:
         return self.bucket_map[self.bucket_of(row)]
+
+    def route_batch(self, rows: typing.Sequence[Row]
+                    ) -> list[tuple[int, typing.Sequence[Row]]]:
+        # Vectorized hash-key extraction + bucket partitioning: one
+        # tight loop with the map, the CRC and the key position bound
+        # as locals.  Same hash, same map lookup, same first-appearance
+        # group order as the per-row ``route`` walk.
+        bucket_map = self.bucket_map
+        bucket_count = self.bucket_count
+        key_position = self.key_position
+        crc32 = zlib.crc32
+        if isinstance(rows, Batch) and rows.is_columnar:
+            # Hash over the key column and partition by *row position*,
+            # then gather each group's columns — no Row materialization
+            # and one output block per consumer.  A single-group batch
+            # passes through whole.
+            keys = rows.column(key_position)
+            targets = [bucket_map[crc32(repr(key).encode()) % bucket_count]
+                       for key in keys]
+            positions: dict[int, list[int]] = {}
+            for position, target in enumerate(targets):
+                group = positions.get(target)
+                if group is None:
+                    positions[target] = [position]
+                else:
+                    group.append(position)
+            if len(positions) == 1:
+                return [(next(iter(positions)), rows)]
+            columns = rows.columns()
+            tids = rows.tids()
+            return [(target,
+                     Batch.from_columns(
+                         [[column[i] for i in group] for column in columns],
+                         [tids[i] for i in group]))
+                    for target, group in positions.items()]
+        grouped: dict[int, list[Row]] = {}
+        for row in rows:
+            bucket = crc32(repr(row.values[key_position]).encode()) \
+                % bucket_count
+            grouped.setdefault(bucket_map[bucket], []).append(row)
+        return list(grouped.items())
 
     def update_weights(self, weights: typing.Sequence[float],
                        bucket_map: typing.Sequence[int] | None = None
@@ -285,6 +372,11 @@ def rebalance_outstanding(
                 for c in range(consumer_count)]
     moves: dict[int, list[tuple[Row, int]]] = {}
     receivers = [c for c in range(consumer_count) if deficits[c] > 0]
+    # Drained receivers advance a cursor instead of ``pop(0)``-ing the
+    # list head, which re-shifted every remaining element and made the
+    # plan O(n²) in the receiver count.  The visit order — and thus
+    # every (row, target) pair — is identical to the shifting version.
+    front = 0
     for source in range(consumer_count):
         excess = -deficits[source]
         if excess <= 0:
@@ -293,11 +385,11 @@ def rebalance_outstanding(
         # least likely to have started processing at the consumer.
         candidates = outstanding.get(source, [])[::-1][:excess]
         for row in candidates:
-            while receivers and deficits[receivers[0]] == 0:
-                receivers.pop(0)
-            if not receivers:
+            while front < len(receivers) and deficits[receivers[front]] == 0:
+                front += 1
+            if front == len(receivers):
                 break
-            target = receivers[0]
+            target = receivers[front]
             deficits[target] -= 1
             moves.setdefault(source, []).append((row, target))
     return moves

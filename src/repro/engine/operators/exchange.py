@@ -85,6 +85,16 @@ class ExchangeProducer(UnaryOperator):
         #: the per-tuple path.
         self._log_work = (ctx.cost.log_append_work
                           + ctx.cost.log_append_work_per_byte * row_bytes)
+        #: Columnar plane: buffers and wire messages carry whole
+        #: :class:`Batch` blocks (chunked at the same checkpoint/flush
+        #: boundaries as the per-row wire) instead of individual rows.
+        #: Pure host-side packaging — block boundaries, events and the
+        #: rows delivered are identical — so state channels opt out:
+        #: their per-row wire entries feed the late-build drain's
+        #: one-row-per-get protocol, which blocks would repackage.
+        self._block_wire = (ctx.engine_config.columnar
+                            and ctx.engine_config.batch_size > 1
+                            and not state_channel)
         count = len(consumers)
         self._buffers: list[list] = [[] for _ in range(count)]
         self._buffer_rows: list[int] = [0] * count
@@ -219,7 +229,7 @@ class ExchangeProducer(UnaryOperator):
         logged = 0
         sends: list[tuple[int, list, int]] = []
         extras: dict[int, list[Row]] = {}
-        for index, group in self.policy.route_batch(batch.rows):
+        for index, group in self.policy.route_batch(batch):
             group_logged, group_sends = self._place_batch(index, group)
             logged += group_logged
             sends.extend(group_sends)
@@ -273,30 +283,57 @@ class ExchangeProducer(UnaryOperator):
         are rotated buffers as ``(index, items, row_count)``; the caller
         charges the aggregated log-append work and transmits via
         :meth:`_settle_batch`.
+
+        ``rows`` may be a :class:`Batch` (the routing fast paths hand
+        whole batches through).  On the block wire each chunk lands in
+        the buffer as one ``Batch`` block — sliced column-wise when the
+        source is column-backed, so no ``Row`` is materialized — with
+        checkpoint markers between blocks exactly where the per-row
+        wire would put them.
         """
         log = self._logs[index]
         config = self.ctx.engine_config
+        block_wire = self._block_wire
+        is_batch = isinstance(rows, Batch)
+        if is_batch and not block_wire:
+            rows = rows.rows
+            is_batch = False
         sends: list[tuple[int, list, int]] = []
         logged = 0
         position = 0
-        while position < len(rows):
-            take = len(rows) - position
+        total = len(rows)
+        while position < total:
+            take = total - position
             if log is not None:
                 take = min(take, config.checkpoint_interval
                            - self._since_checkpoint[index])
             take = min(take, config.buffer_size - self._buffer_rows[index])
-            chunk = rows[position:position + take]
-            position += take
-            self._buffers[index].extend(chunk)
-            self._buffer_rows[index] += len(chunk)
-            self._attributed[index].update(row.tid for row in chunk)
-            if self._retained is not None:
-                self._retained.update((row.tid, row) for row in chunk)
-            if log is not None:
-                log.append_batch(chunk)
-                logged += len(chunk)
-            self._since_checkpoint[index] += len(chunk)
-            self._channel_sent_rows[index] += len(chunk)
+            if block_wire:
+                if is_batch:
+                    chunk = rows.slice(position, position + take)
+                else:
+                    chunk = Batch(rows[position:position + take])
+                position += take
+                chunk_rows = len(chunk)
+                self._buffers[index].append(chunk)
+                self._attributed[index].update(chunk.tids())
+                if log is not None:
+                    log.append_block(chunk)
+                    logged += chunk_rows
+            else:
+                chunk = rows[position:position + take]
+                position += take
+                chunk_rows = len(chunk)
+                self._buffers[index].extend(chunk)
+                self._attributed[index].update(row.tid for row in chunk)
+                if self._retained is not None:
+                    self._retained.update((row.tid, row) for row in chunk)
+                if log is not None:
+                    log.append_batch(chunk)
+                    logged += chunk_rows
+            self._buffer_rows[index] += chunk_rows
+            self._since_checkpoint[index] += chunk_rows
+            self._channel_sent_rows[index] += chunk_rows
             if (log is not None
                     and self._since_checkpoint[index]
                     >= config.checkpoint_interval):
@@ -347,11 +384,19 @@ class ExchangeProducer(UnaryOperator):
         consumer = self.consumers[index]
         serialization = self.ctx.grid.serialization
         started = self.env.now
+        # Columnar payloads are charged the per-column serialization
+        # terms (0.0 by default, so the block wire stays cost-neutral).
+        column_count = 0
+        for item in items:
+            if isinstance(item, Batch):
+                column_count = max(column_count, item.width)
         yield from self.ctx.machine.work(
-            "serialize", serialization.serialize_work(row_count))
+            "serialize", serialization.serialize_work(row_count,
+                                                      column_count))
         payload = DataBuffer(consumer.channel_key, self.producer_id,
                              items, row_count)
-        wire_bytes = serialization.wire_size_batch(row_count, self.row_bytes)
+        wire_bytes = serialization.wire_size_batch(row_count, self.row_bytes,
+                                                   column_count)
         # Synchronous send: the SOAP/HTTP call returns at delivery.
         chaos = self.ctx.grid.chaos
         if chaos is None:
@@ -366,10 +411,13 @@ class ExchangeProducer(UnaryOperator):
         self._metric_tuples_sent.inc(row_count)
         self._metric_bytes_sent.inc(wire_bytes)
         self._metric_occupancy.sample(sum(self._buffer_rows))
-        on_wire_add = self._on_wire[index].add
+        on_wire = self._on_wire[index]
+        on_wire_add = on_wire.add
         for item in items:
             if isinstance(item, Row):
                 on_wire_add(item.tid)
+            elif isinstance(item, Batch):
+                on_wire.update(item.tids())
         if self.ctx.monitor is not None and row_count:
             yield from self.ctx.machine.work(
                 "monitor", self.ctx.cost.monitor_event_work)
@@ -451,8 +499,8 @@ class ExchangeProducer(UnaryOperator):
                 yield from self.ctx.machine.work(
                     "log-extract",
                     self.ctx.cost.log_extract_work * max(1, len(log)))
-                buffered_tids = {item.tid for item in self._buffers[index]
-                                 if isinstance(item, Row)}
+                buffered_tids = {row.tid
+                                 for row in self._buffered_rows(index)}
                 for row in log.outstanding():
                     if row.tid in buffered_tids:
                         continue  # still buffered; flushes below
@@ -644,8 +692,16 @@ class ExchangeProducer(UnaryOperator):
             moved_tids = {row.tid for row, _target in channel_moves}
             buffered_kept = []
             for item in self._buffers[index]:
-                if isinstance(item, Row) and item.tid in moved_tids:
-                    self._buffer_rows[index] -= 1
+                if isinstance(item, Row):
+                    if item.tid in moved_tids:
+                        self._buffer_rows[index] -= 1
+                    else:
+                        buffered_kept.append(item)
+                elif isinstance(item, Batch):
+                    kept, removed = item.filter_tids(moved_tids)
+                    self._buffer_rows[index] -= removed
+                    if len(kept):
+                        buffered_kept.append(kept)
                 else:
                     buffered_kept.append(item)
             self._buffers[index] = buffered_kept
@@ -684,20 +740,30 @@ class ExchangeProducer(UnaryOperator):
             yield from self._settle_batch(logged, sends)
         yield from self._flush_all()
 
+    def _buffered_rows(self, index: int) -> list[Row]:
+        """The rows currently buffered on channel ``index``, in order
+        (wire blocks expanded, checkpoint markers skipped)."""
+        rows: list[Row] = []
+        for item in self._buffers[index]:
+            if isinstance(item, Row):
+                rows.append(item)
+            elif isinstance(item, Batch):
+                rows.extend(item.rows)
+        return rows
+
     def _plan_moves(self) -> dict[int, list[tuple[Row, int]]]:
         """Which outstanding tuples move where under the new policy."""
         outstanding: dict[int, list[Row]] = {}
         for index in range(len(self.consumers)):
             rows = []
+            buffered = self._buffered_rows(index)
             log = self._logs[index]
             if log is not None:
                 rows.extend(log.outstanding())
-                buffered_tids = {item.tid for item in self._buffers[index]
-                                 if isinstance(item, Row)}
+                buffered_tids = {row.tid for row in buffered}
                 # Buffered rows are also logged; avoid double counting.
                 rows = [row for row in rows if row.tid not in buffered_tids]
-            rows.extend(item for item in self._buffers[index]
-                        if isinstance(item, Row))
+            rows.extend(buffered)
             outstanding[index] = rows
         if isinstance(self.policy, HashBucketPolicy):
             moves: dict[int, list[tuple[Row, int]]] = {}
@@ -738,6 +804,10 @@ class ExchangeConsumer(Operator):
         self.rows_received = 0
         self.rows_discarded = 0
         self.acks_sent = 0
+        #: Data rows currently queued (wire blocks counted by their row
+        #: count), the quantity the queue-depth series samples — entry
+        #: counts would under-report 50-row blocks as depth 1.
+        self._queued_rows = 0
         metrics = ctx.grid.metrics
         self._metric_rows_received = metrics.counter(
             "exchange_rows_received", channel=channel_key)
@@ -756,21 +826,46 @@ class ExchangeConsumer(Operator):
         # puts, so this is the fire-and-forget per-item loop minus the
         # per-item StorePut events.
         self.queue.put_many((producer_id, item) for item in items)
-        self._metric_queue_depth.sample(len(self.queue))
+        for item in items:
+            if isinstance(item, Row):
+                self._queued_rows += 1
+            elif isinstance(item, Batch):
+                self._queued_rows += len(item)
+        self._metric_queue_depth.sample(self._queued_rows)
 
     def inject_recheck(self) -> None:
         """Force the evaluator to re-evaluate channel completion."""
         self.queue.put((None, RECHECK))
 
     def apply_discard(self, discard: DiscardTuples) -> int:
-        """Drop retracted tuples still waiting in the queue."""
-        removed = self.queue.remove_if(
-            lambda entry: isinstance(entry[1], Row)
-            and entry[1].tid in discard.tids)
-        self.rows_discarded += len(removed)
-        self._metric_rows_discarded.inc(len(removed))
-        self._metric_queue_depth.sample(len(self.queue))
-        return len(removed)
+        """Drop retracted tuples still waiting in the queue.
+
+        Retracted rows may sit in the queue as individual entries or
+        inside wire blocks; blocks are filtered in place (an event-free
+        rebuild, like ``remove_if``).
+        """
+        tids = discard.tids
+        removed_rows = [0]
+
+        def filter_entry(entry):
+            producer_id, item = entry
+            if isinstance(item, Row) and item.tid in tids:
+                removed_rows[0] += 1
+                return None
+            if isinstance(item, Batch):
+                kept, removed = item.filter_tids(tids)
+                if removed:
+                    removed_rows[0] += removed
+                    return (producer_id, kept) if len(kept) else None
+            return entry
+
+        self.queue.remap(filter_entry)
+        removed = removed_rows[0]
+        self.rows_discarded += removed
+        self._queued_rows -= removed
+        self._metric_rows_discarded.inc(removed)
+        self._metric_queue_depth.sample(self._queued_rows)
+        return removed
 
     def apply_announcement(self, announcement: ChannelAnnouncement) -> None:
         """Install (or revise) a producer's end-of-stream announcement."""
@@ -810,6 +905,8 @@ class ExchangeConsumer(Operator):
             # before judging completion, so sentinels never linger.
             while len(self.queue) > 0:
                 producer_id, item = yield self.queue.get()
+                if isinstance(item, Batch):
+                    return self._split_block(producer_id, item)
                 row = yield from self._handle(producer_id, item)
                 if row is not None:
                     return row
@@ -820,35 +917,73 @@ class ExchangeConsumer(Operator):
             waited = self.env.now - waited_from
             if waited > 0:
                 self.ctx.metrics.record_wait(waited)
+            if isinstance(item, Batch):
+                return self._split_block(producer_id, item)
             row = yield from self._handle(producer_id, item)
             if row is not None:
                 return row
 
+    def _split_block(self, producer_id: str, block: Batch) -> Row:
+        """Serve one row from a wire block on a per-tuple path.
+
+        The remainder goes back to the queue head, so the per-row get
+        cadence — one StoreGet per row served — matches the row wire
+        exactly even when a degenerate caller (``max_rows=1``) meets a
+        block.
+        """
+        head, rest = block.split_at(1)
+        if len(rest):
+            self.queue.put_back([(producer_id, rest)])
+        self._handle_block(producer_id, head)
+        return head[0]
+
+    def _accept_block(self, producer_id: str, block: Batch,
+                      need: int) -> Batch:
+        """Absorb up to ``need`` rows of a wire block, re-queueing the
+        rest, and return the accepted sub-block."""
+        if len(block) > need:
+            block, rest = block.split_at(need)
+            self.queue.put_back([(producer_id, rest)])
+        self._handle_block(producer_id, block)
+        return block
+
     def next_batch(self, max_rows: int) -> typing.Generator:
         if max_rows == 1:
             return (yield from Operator.next_batch(self, max_rows))
-        rows: list[Row] = []
-        while len(rows) < max_rows:
+        #: Accepted parts in arrival order: wire blocks (column-backed
+        #: or row-backed) and individual rows, assembled into one batch
+        #: at the end — a single whole block passes through untouched.
+        parts: list = []
+        count = 0
+        while count < max_rows:
             if self.aborted:
                 break
             # Synchronous drain: already-queued items are taken without
-            # a StoreGet event each.
-            taken = self.queue.take(max_rows - len(rows))
+            # a StoreGet event each.  One entry per take: a block entry
+            # can fill the whole morsel by itself.
+            taken = self.queue.take(1)
             if taken:
-                for position, (producer_id, item) in enumerate(taken):
-                    if not isinstance(item, Row) and rows:
-                        # A control item behind data must wait until the
-                        # rows have flowed through the subplan: e.g. a
-                        # checkpoint ack asserts their outputs are
-                        # durable downstream.  Defer it (and everything
-                        # after it) and ship the partial batch.
-                        self.queue.put_back(taken[position:])
-                        return Batch(rows)
-                    row = yield from self._handle(producer_id, item)
-                    if row is not None:
-                        rows.append(row)
+                producer_id, item = taken[0]
+                if isinstance(item, Batch):
+                    block = self._accept_block(producer_id, item,
+                                               max_rows - count)
+                    parts.append(block)
+                    count += len(block)
+                    continue
+                if not isinstance(item, Row) and count:
+                    # A control item behind data must wait until the
+                    # rows have flowed through the subplan: e.g. a
+                    # checkpoint ack asserts their outputs are
+                    # durable downstream.  Defer it and ship the
+                    # partial batch.
+                    self.queue.put_back(taken)
+                    break
+                row = yield from self._handle(producer_id, item)
+                if row is not None:
+                    parts.append(row)
+                    count += 1
                 continue
-            if rows:
+            if count:
                 # Don't block while holding rows: ship a partial batch.
                 break
             if self.is_complete():
@@ -858,17 +993,36 @@ class ExchangeConsumer(Operator):
             waited = self.env.now - waited_from
             if waited > 0:
                 self.ctx.metrics.record_wait(waited)
-            row = yield from self._handle(producer_id, item)
-            if row is not None:
-                rows.append(row)
-        if rows:
-            return Batch(rows)
+            if isinstance(item, Batch):
+                block = self._accept_block(producer_id, item,
+                                           max_rows - count)
+                parts.append(block)
+                count += len(block)
+            else:
+                row = yield from self._handle(producer_id, item)
+                if row is not None:
+                    parts.append(row)
+                    count += 1
+        if count:
+            return self._assemble(parts)
         return END
+
+    @staticmethod
+    def _assemble(parts: list) -> Batch:
+        """One batch from accepted rows and blocks, preserving order."""
+        if len(parts) == 1 and isinstance(parts[0], Batch):
+            return parts[0]
+        if all(isinstance(part, Row) for part in parts):
+            return Batch(parts)
+        return Batch.concat([part if isinstance(part, Batch)
+                             else Batch([part]) for part in parts])
 
     def try_next(self) -> typing.Generator:
         """Non-blocking variant: a Row, or None when the queue is idle."""
         while len(self.queue) > 0:
             producer_id, item = yield self.queue.get()
+            if isinstance(item, Batch):
+                return self._split_block(producer_id, item)
             row = yield from self._handle(producer_id, item)
             if row is not None:
                 return row
@@ -887,6 +1041,7 @@ class ExchangeConsumer(Operator):
             return None
         if isinstance(item, Row):
             self.rows_received += 1
+            self._queued_rows -= 1
             self._metric_rows_received.inc()
             self.ctx.metrics.record_consumed()
             settled = self._settled.setdefault(producer_id, set())
@@ -894,6 +1049,23 @@ class ExchangeConsumer(Operator):
             return item
         raise ExecutionError(
             f"{self.channel_key}: unexpected queue item {item!r}")
+
+    def _handle_block(self, producer_id: str, block: Batch) -> None:
+        """Bulk bookkeeping for an accepted wire block.
+
+        The vectorized counterpart of the ``Row`` arm of
+        :meth:`_handle`: one counter update and one settled-set union
+        per block instead of per row.  Pure bookkeeping — rows, unlike
+        checkpoints, charge no work and schedule no events in either
+        wire mode.
+        """
+        count = len(block)
+        self.rows_received += count
+        self._queued_rows -= count
+        self._metric_rows_received.inc(count)
+        self.ctx.metrics.record_consumed(count)
+        settled = self._settled.setdefault(producer_id, set())
+        settled.update(block.tids())
 
     def _send_ack(self, marker: Checkpoint) -> None:
         endpoint = self._producer_endpoints.get(marker.producer_id)

@@ -1,10 +1,19 @@
-"""Stateless per-tuple operators: selection and projection."""
+"""Stateless per-tuple operators: selection and projection.
+
+Both carry vectorized columnar paths (``EngineConfig.columnar``):
+selection evaluates a :class:`~repro.data.tuples.ColumnPredicate`'s
+test directly over the column array and gathers surviving positions
+column-wise; projection is a column select that never touches rows.
+Opaque predicates and row-backed batches fall back to the row loop —
+either way the kept rows (and charged work) are identical.
+"""
 
 from __future__ import annotations
 
 import typing
 
-from repro.data.tuples import Row
+from repro.data.batch import Batch
+from repro.data.tuples import ColumnPredicate, Row
 from repro.engine.operators.base import END, EvalContext, Operator, UnaryOperator
 
 
@@ -28,9 +37,33 @@ class Select(UnaryOperator):
             if self.predicate(row):
                 return row
 
+    def _filter_columnar(self, batch: Batch) -> Batch | None:
+        """Vectorized filter; None when every row is dropped.
+
+        Runs the predicate's scalar test over the key column, then
+        gathers the surviving positions from every column.  An all-pass
+        batch is returned as-is (the common case for selective-upstream
+        plans); the kept set is identical to the row loop's.
+        """
+        test = self.predicate.test
+        keep = [i for i, value in
+                enumerate(batch.column(self.predicate.position))
+                if test(value)]
+        if not keep:
+            return None
+        if len(keep) == len(batch):
+            return batch
+        columns = batch.columns()
+        tids = batch.tids()
+        return Batch.from_columns(
+            [[column[i] for i in keep] for column in columns],
+            [tids[i] for i in keep])
+
     def next_batch(self, max_rows: int) -> typing.Generator:
         if max_rows == 1:
             return (yield from Operator.next_batch(self, max_rows))
+        columnar = (self.ctx.engine_config.columnar
+                    and isinstance(self.predicate, ColumnPredicate))
         # The predicate is charged per input row; empty post-filter
         # batches are retried so callers only ever see non-empty ones.
         while True:
@@ -39,6 +72,11 @@ class Select(UnaryOperator):
                 return END
             yield from self.ctx.machine.work_batch(
                 "select", self.ctx.cost.select_work, len(batch))
+            if columnar:
+                kept_batch = self._filter_columnar(batch)
+                if kept_batch is not None:
+                    return kept_batch
+                continue
             kept = [row for row in batch if self.predicate(row)]
             if kept:
                 return batch.replace_rows(kept)
@@ -68,5 +106,10 @@ class Project(UnaryOperator):
             return END
         yield from self.ctx.machine.work_batch(
             "project", self.ctx.cost.project_work, len(batch))
+        if self.ctx.engine_config.columnar:
+            # Column select: shares the kept column lists and the tid
+            # column; no per-row allocation.  Content matches
+            # row.project(positions) for every row.
+            return batch.select_columns(self.positions)
         return batch.replace_rows(
             [row.project(self.positions) for row in batch])

@@ -12,10 +12,18 @@ During the probe phase the join drains any newly arrived build tuples
 from its build consumer before each probe step, so replays take effect
 immediately.  Exactly-once results are guaranteed by sink-side
 deduplication of the composed (probe tid, build tid) provenance.
+
+Held matches (``_pending``) are a FIFO: a probe tuple with a large
+match fan-out produces many outputs that drain across several
+``next``/``next_batch`` calls.  The queue is a ``collections.deque``
+(plus, on the columnar plane, a column-backed block with a cursor) —
+draining a list with ``pop(0)`` made skewed keys O(n²) in the
+fan-out.
 """
 
 from __future__ import annotations
 
+import collections
 import typing
 
 from repro.data.batch import Batch
@@ -41,7 +49,12 @@ class HashJoin(Operator):
         self.probe_key_position = probe_key_position
         self._table: dict[typing.Any, list[Row]] = {}
         self._key_of_tid: dict[Tid, typing.Any] = {}
-        self._pending: list[Row] = []
+        self._pending: collections.deque[Row] = collections.deque()
+        # Column-backed held matches (columnar plane only).  At most
+        # one of ``_pending`` / ``_pending_block`` is non-empty at any
+        # time: matches are only produced when both are drained, so
+        # output order is preserved across mixed next/next_batch calls.
+        self._pending_block: Batch | None = None
         self.build_count = 0
         self.probe_count = 0
 
@@ -91,8 +104,23 @@ class HashJoin(Operator):
                 break
             yield from self.ctx.machine.work_batch(
                 LABEL_BUILD, self.ctx.cost.join_build_work, len(batch))
-            for row in batch:
-                self.insert_build_row(row)
+            self._insert_build_batch(batch)
+
+    def _insert_build_batch(self, batch: Batch) -> None:
+        """Bulk tid-idempotent insert (build-key grouping, hoisted)."""
+        key_of_tid = self._key_of_tid
+        table_setdefault = self._table.setdefault
+        key_position = self.build_key_position
+        inserted = 0
+        for row in batch.rows:
+            tid = row.tid
+            if tid in key_of_tid:
+                continue
+            key = row.values[key_position]
+            table_setdefault(key, []).append(row)
+            key_of_tid[tid] = key
+            inserted += 1
+        self.build_count += inserted
 
     def _drain_late_build(self) -> typing.Generator:
         """Absorb build tuples replayed after the build phase ended."""
@@ -107,7 +135,11 @@ class HashJoin(Operator):
     def next(self) -> typing.Generator:
         while True:
             if self._pending:
-                return self._pending.pop(0)
+                return self._pending.popleft()
+            if self._pending_block is not None:
+                head, rest = self._pending_block.split_at(1)
+                self._pending_block = rest if len(rest) else None
+                return head[0]
             yield from self._drain_late_build()
             probe_row = yield from self.probe_child.next()
             if probe_row is END:
@@ -123,6 +155,7 @@ class HashJoin(Operator):
     def next_batch(self, max_rows: int) -> typing.Generator:
         if max_rows == 1:
             return (yield from Operator.next_batch(self, max_rows))
+        columnar = self.ctx.engine_config.columnar
         while True:
             if self._pending:
                 # Ship held matches before pumping more input: the probe
@@ -130,9 +163,16 @@ class HashJoin(Operator):
                 # pumped, which asserts these outputs reached the next
                 # stage already.
                 take = min(max_rows, len(self._pending))
-                out = self._pending[:take]
-                del self._pending[:take]
-                return Batch(out)
+                pending = self._pending
+                return Batch([pending.popleft() for _ in range(take)])
+            if self._pending_block is not None:
+                block = self._pending_block
+                if len(block) <= max_rows:
+                    self._pending_block = None
+                    return block
+                head, rest = block.split_at(max_rows)
+                self._pending_block = rest
+                return head
             yield from self._drain_late_build()
             probe = yield from self.probe_child.next_batch(max_rows)
             if probe is END:
@@ -145,11 +185,50 @@ class HashJoin(Operator):
             # move may have replayed build tuples these probes must see
             # (they were enqueued before the probes were sent).
             yield from self._drain_late_build()
-            for probe_row in probe:
-                key = probe_row.values[self.probe_key_position]
-                for build_row in self._table.get(key, []):
-                    self._pending.append(
-                        probe_row.extend(build_row.values, build_row.tid))
+            if columnar:
+                self._match_columnar(probe)
+            else:
+                key_position = self.probe_key_position
+                table_get = self._table.get
+                pending_append = self._pending.append
+                for probe_row in probe:
+                    key = probe_row.values[key_position]
+                    for build_row in table_get(key, ()):
+                        pending_append(probe_row.extend(
+                            build_row.values, build_row.tid))
+
+    def _match_columnar(self, probe: Batch) -> None:
+        """Vectorized probe: matches land in a column-backed block.
+
+        Each output row is (probe values ++ build values) with the
+        composed ``(probe_tid, build_tid)`` provenance — the exact
+        content of ``Row.extend`` — but built as column appends, so no
+        intermediate ``Row`` is allocated per match.
+        """
+        key_position = self.probe_key_position
+        table_get = self._table.get
+        columns: list[list] | None = None
+        tids: list[Tid] = []
+        probe_width = probe.width
+        for probe_row in probe:
+            key = probe_row.values[key_position]
+            bucket = table_get(key)
+            if not bucket:
+                continue
+            probe_values = probe_row.values
+            probe_tid = probe_row.tid
+            for build_row in bucket:
+                if columns is None:
+                    columns = [[] for _ in range(
+                        probe_width + len(build_row.values))]
+                for position, value in enumerate(probe_values):
+                    columns[position].append(value)
+                for position, value in enumerate(build_row.values,
+                                                 probe_width):
+                    columns[position].append(value)
+                tids.append((probe_tid, build_row.tid))
+        if tids:
+            self._pending_block = Batch.from_columns(columns, tids)
 
     def close(self) -> typing.Generator:
         yield from self.build_child.close()
@@ -157,3 +236,4 @@ class HashJoin(Operator):
         self._table.clear()
         self._key_of_tid.clear()
         self._pending.clear()
+        self._pending_block = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.data.batch import Batch
 from repro.engine.operators.base import END, EvalContext, Operator, UnaryOperator
 from repro.services.ws import WebServiceOperation
 
@@ -72,6 +73,21 @@ class OperationCall(UnaryOperator):
         yield from self.ctx.machine.work_batch(
             self.operation.work_label, self.operation.base_work_ms,
             len(batch))
+        if (self.ctx.engine_config.columnar
+                and self.ctx.grid.chaos is None):
+            # Vectorized result column: invoke over the argument column
+            # and append the results as a new column; tids carry over
+            # unchanged (replace_values inherits provenance).  Gated on
+            # no chaos so the per-row retry generator — and with it the
+            # chaos RNG draw order — is untouched whenever failures are
+            # possible (_retry_transient_failures returns immediately
+            # without drawing when chaos is None).
+            invoke = self.operation.invoke
+            results = [invoke(value)
+                       for value in batch.column(self.arg_position)]
+            self.calls_made += len(results)
+            return Batch.from_columns(batch.columns() + [results],
+                                      batch.tids())
         out = []
         for row in batch:
             yield from self._retry_transient_failures()

@@ -46,12 +46,23 @@ class TableScan(Operator):
     def next_batch(self, max_rows: int) -> typing.Generator:
         if max_rows == 1:
             return (yield from Operator.next_batch(self, max_rows))
-        rows = self.gds.read(self._cursor, max_rows)
-        if not rows:
-            return END
-        self._cursor += len(rows)
+        if self.ctx.engine_config.columnar:
+            # Columnar source: slice the relation's column store so the
+            # whole downstream plane stays columnar (same rows/tids as
+            # the row read).
+            batch = self.gds.read_block(self._cursor, max_rows)
+            count = len(batch)
+            if count == 0:
+                return END
+        else:
+            rows = self.gds.read(self._cursor, max_rows)
+            if not rows:
+                return END
+            count = len(rows)
+            batch = Batch(rows)
+        self._cursor += count
         work = (self.gds.access_work_per_tuple
                 + self.ctx.cost.scan_work_per_tuple)
         yield from self.ctx.machine.work_batch(
-            self.work_label, work, len(rows))
-        return Batch(rows)
+            self.work_label, work, count)
+        return batch

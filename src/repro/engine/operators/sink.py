@@ -55,6 +55,18 @@ class ResultSink(UnaryOperator):
             return END
         yield from self.ctx.machine.work_batch(
             "sink", self.ctx.cost.sink_work, len(batch))
+        if self.aggregator is None:
+            # Bulk dedup: the overwhelmingly common case is a batch of
+            # entirely-new tids (duplicates only appear under replays),
+            # verified in one set-disjointness probe.  Falls back to
+            # the row loop on any duplicate — including intra-batch
+            # ones, which the uniqueness check catches.
+            tids = batch.tids()
+            unique = set(tids)
+            if len(unique) == len(tids) and self._seen.isdisjoint(unique):
+                self._seen |= unique
+                self.results.extend(batch.rows)
+                return batch
         for row in batch:
             if row.tid in self._seen:
                 self.duplicates_dropped += 1

@@ -29,6 +29,25 @@ from repro.sim.environment import Environment
 from repro.sim.events import Event
 from repro.sim.resources import Cpu, SpeedFunction
 
+#: Memoized repeated float addition: ``(work, count) -> work summed
+#: count times``.  Batch work charges sum per-item work by repeated
+#: addition so the total is bit-identical to ``count`` sequential
+#: per-item charges; the cost-model emits a handful of distinct work
+#: constants and counts are bounded by the batch size, so the table
+#: stays tiny and the hot path becomes a dict hit.
+_REPEATED_ADD: dict[tuple[float, int], float] = {}
+
+
+def _repeated_add(work: float, count: int) -> float:
+    key = (work, count)
+    total = _REPEATED_ADD.get(key)
+    if total is None:
+        total = 0.0
+        for _ in range(count):
+            total += work
+        _REPEATED_ADD[key] = total
+    return total
+
 
 class Machine:
     """A named computational resource on the simulated Grid."""
@@ -181,7 +200,8 @@ class Machine:
         no match the per-item accumulation degenerates to repeated
         addition of ``work_per_item``; the repeated add is kept (rather
         than one multiply) so the summed float is bit-identical to the
-        per-item effect loop.
+        per-item effect loop, and memoized per ``(work, count)`` since
+        the result is a pure function of both.
         """
         if count <= 0:
             return 0.0
@@ -191,16 +211,25 @@ class Machine:
         total_cpu = 0.0
         total_delay = 0.0
         if active:
-            rng = self._rng
-            for _ in range(count):
+            if all(perturbation.deterministic for perturbation in active):
+                # Every item's effect is identical and no RNG is drawn,
+                # so one apply plus the memoized repeated add matches
+                # the per-item loop bit-for-bit.
                 effect = WorkEffect(cpu_work=work_per_item)
                 for perturbation in active:
-                    effect = perturbation.apply(effect, rng)
-                total_cpu += effect.cpu_work
-                total_delay += effect.blocking_delay
+                    effect = perturbation.apply(effect, self._rng)
+                total_cpu = _repeated_add(effect.cpu_work, count)
+                total_delay = _repeated_add(effect.blocking_delay, count)
+            else:
+                rng = self._rng
+                for _ in range(count):
+                    effect = WorkEffect(cpu_work=work_per_item)
+                    for perturbation in active:
+                        effect = perturbation.apply(effect, rng)
+                    total_cpu += effect.cpu_work
+                    total_delay += effect.blocking_delay
         else:
-            for _ in range(count):
-                total_cpu += work_per_item
+            total_cpu = _repeated_add(work_per_item, count)
         if total_delay > 0:
             yield self.env.timeout(total_delay)
         if total_cpu > 0:

@@ -36,7 +36,14 @@ class Perturbation(abc.ABC):
     ``target`` is matched against operator labels; ``"*"`` matches all
     work on the machine.  ``start``/``end`` bound the active window in
     simulated time.
+
+    ``deterministic`` declares that :meth:`apply` is a pure function of
+    its input effect (no RNG draws), letting batch work charges apply
+    the perturbation once per batch instead of once per item.  The base
+    default is ``False`` — the safe assumption for subclasses.
     """
+
+    deterministic = False
 
     def __init__(self, target: str = "*", start: float = 0.0,
                  end: float = float("inf")) -> None:
@@ -63,6 +70,8 @@ class CostFactor(Perturbation):
     The paper's "10/20/30 times costlier" Web Service perturbations.
     """
 
+    deterministic = True
+
     def __init__(self, factor: float, target: str = "*", start: float = 0.0,
                  end: float = float("inf")) -> None:
         super().__init__(target, start, end)
@@ -81,6 +90,8 @@ class SleepInjection(Perturbation):
     The paper's ``sleep(10msecs)`` inserted before each join tuple:
     the delay blocks the evaluator thread but leaves the CPU free.
     """
+
+    deterministic = True
 
     def __init__(self, sleep_ms: float, target: str = "*",
                  start: float = 0.0, end: float = float("inf")) -> None:

@@ -11,7 +11,6 @@ after a small, configurable loopback delay.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.errors import NetworkError
 from repro.net.link import Link
@@ -124,53 +123,78 @@ class Network:
         message.sent_at = self.env.now
         done = Event(self.env)
         if source.machine_name == destination.machine_name:
-            self.env.process(
-                self._deliver_local(message, destination, done),
-                name="net-local")
+            self._start_delivery(message, destination, done, None)
         else:
             link = self.link_between(
                 source.machine_name, destination.machine_name)
             if self.chaos is None:
-                self.env.process(
-                    self._deliver_remote(message, destination, link, done),
-                    name="net-remote")
+                self._start_delivery(message, destination, done, link)
             else:
                 fault = self.chaos.message_fault(
                     source.machine_name, destination.machine_name,
                     message.kind)
-                self.env.process(
-                    self._deliver_remote(
-                        message, destination, link, done,
-                        drop=fault.drop,
-                        extra_delay_ms=fault.extra_delay_ms),
-                    name="net-remote")
+                self._start_delivery(message, destination, done, link,
+                                     drop=fault.drop,
+                                     extra_delay_ms=fault.extra_delay_ms)
                 if fault.duplicate:
                     # The copy re-occupies the same link FIFO behind the
                     # original; its delivery event is nobody's business.
-                    self.env.process(
-                        self._deliver_remote(
-                            message, destination, link, Event(self.env)),
-                        name="net-remote-dup")
+                    self._start_delivery(message, destination,
+                                         Event(self.env), link)
         return done
 
-    def _deliver_local(self, message: Message, destination: Endpoint,
-                       done: Event) -> typing.Generator:
-        if self.config.loopback_delay_ms > 0:
-            yield self.env.timeout(self.config.loopback_delay_ms)
-        self._finish_delivery(message, destination, done)
+    def _start_delivery(self, message: Message, destination: Endpoint,
+                        done: Event, link: Link | None, drop: bool = False,
+                        extra_delay_ms: float = 0.0) -> None:
+        """Kick off one delivery as a callback chain.
 
-    def _deliver_remote(self, message: Message, destination: Endpoint,
-                        link: Link, done: Event, drop: bool = False,
-                        extra_delay_ms: float = 0.0) -> typing.Generator:
-        yield link.transfer(message.size_bytes, extra_delay_ms)
-        if drop:
-            # A chaos-dropped message occupies the link but is never
-            # delivered — the sender observes silence, like a lost
-            # datagram; ``done`` never fires, so synchronous senders
-            # must pair it with a timeout (the retry wrappers do).
-            self.messages_dropped += 1
-            return
-        self._finish_delivery(message, destination, done)
+        Replaces the per-message net-local/net-remote processes.  Event
+        accounting matches them exactly: the kick event stands in for
+        the process bootstrap (one event, and the link transfer is
+        initiated at the kick's *dispatch*, exactly where the old
+        generator's first statement ran); the loopback timeout and the
+        transfer's delivered event fire at the same positions; and the
+        process completion event — a callback-less no-op dispatch —
+        is compensated by ``env._seq += 1`` where the generator
+        returned, keeping every later heap key bit-identical.
+        """
+        env = self.env
+
+        if link is None:
+            def on_kick(_event: Event) -> None:
+                if self.config.loopback_delay_ms > 0:
+                    timeout = env.timeout(self.config.loopback_delay_ms)
+
+                    def on_loopback(_event: Event) -> None:
+                        self._finish_delivery(message, destination, done)
+                        env._seq += 1
+
+                    timeout.callbacks.append(on_loopback)
+                else:
+                    self._finish_delivery(message, destination, done)
+                    env._seq += 1
+        else:
+            def on_kick(_event: Event) -> None:
+                delivered = link.transfer(message.size_bytes, extra_delay_ms)
+
+                def on_delivered(_event: Event) -> None:
+                    if drop:
+                        # A chaos-dropped message occupies the link but
+                        # is never delivered — the sender observes
+                        # silence, like a lost datagram; ``done`` never
+                        # fires, so synchronous senders must pair it
+                        # with a timeout (the retry wrappers do).
+                        self.messages_dropped += 1
+                        env._seq += 1
+                        return
+                    self._finish_delivery(message, destination, done)
+                    env._seq += 1
+
+                delivered.callbacks.append(on_delivered)
+
+        kick = Event(env)
+        kick.callbacks.append(on_kick)
+        kick.succeed(None)
 
     def _finish_delivery(self, message: Message, destination: Endpoint,
                          done: Event) -> None:

@@ -13,6 +13,7 @@ import dataclasses
 import typing
 
 from repro.data.schema import Schema, Column
+from repro.data.tuples import ColumnPredicate
 from repro.errors import PlanningError, SchemaError
 from repro.planner.ast import (
     ColumnRef,
@@ -123,7 +124,10 @@ def _literal_predicate(position: int, op: str, value) -> typing.Callable:
         comparator = comparators[op]
     except KeyError:
         raise PlanningError(f"unsupported operator {op!r}") from None
-    return lambda row: comparator(row.values[position])
+    # A structured predicate: behaves exactly like the previous opaque
+    # lambda when called on a row, but exposes (position, test) so the
+    # columnar Select path can vectorize over the column array.
+    return ColumnPredicate(position, comparator, f"col[{position}] {op} {value!r}")
 
 
 def build_logical_plan(query: SelectQuery,

@@ -17,24 +17,38 @@ from __future__ import annotations
 import collections
 import typing
 
+from repro.data.batch import Batch
 from repro.data.tuples import Row, Tid
 from repro.errors import RecoveryError
 
 
+def _segment_rows(segment: list) -> int:
+    """Row count of a segment whose entries are Rows or Batch blocks."""
+    return sum(len(entry) if isinstance(entry, Batch) else 1
+               for entry in segment)
+
+
 class RecoveryLog:
-    """Checkpoint-segmented log of unacknowledged tuples for a channel."""
+    """Checkpoint-segmented log of unacknowledged tuples for a channel.
+
+    Segment entries are individual :class:`Row` objects or — on the
+    columnar plane — whole :class:`Batch` blocks kept column-backed,
+    so logging a block is O(1) and rows only materialize if an
+    adaptation actually inspects the log.
+    """
 
     def __init__(self, channel_key: str) -> None:
         self.channel_key = channel_key
-        self._sealed: "collections.OrderedDict[int, list[Row]]" = (
+        self._sealed: "collections.OrderedDict[int, list]" = (
             collections.OrderedDict())
-        self._open: list[Row] = []
+        self._open: list = []
         self._last_sealed_id: int | None = None
         self.appended_total = 0
         self.acknowledged_total = 0
 
     def __len__(self) -> int:
-        return sum(len(seg) for seg in self._sealed.values()) + len(self._open)
+        return (sum(_segment_rows(seg) for seg in self._sealed.values())
+                + _segment_rows(self._open))
 
     def append(self, row: Row) -> None:
         """Log a tuple just sent on this channel."""
@@ -50,6 +64,16 @@ class RecoveryLog:
         """
         self._open.extend(rows)
         self.appended_total += len(rows)
+
+    def append_block(self, block: Batch) -> None:
+        """Log a wire block without materializing its rows.
+
+        The block is stored as-is; callers segment blocks at checkpoint
+        boundaries just as with :meth:`append_batch`, so a block never
+        spans a :meth:`seal`.
+        """
+        self._open.append(block)
+        self.appended_total += len(block)
 
     def seal(self, checkpoint_id: int) -> None:
         """Close the open segment under ``checkpoint_id``."""
@@ -68,7 +92,7 @@ class RecoveryLog:
         for sealed_id in list(self._sealed):
             if sealed_id > checkpoint_id:
                 break
-            freed += len(self._sealed.pop(sealed_id))
+            freed += _segment_rows(self._sealed.pop(sealed_id))
         self.acknowledged_total += freed
         return freed
 
@@ -76,8 +100,16 @@ class RecoveryLog:
         """Every logged (sent but unacknowledged) tuple, oldest first."""
         rows: list[Row] = []
         for segment in self._sealed.values():
-            rows.extend(segment)
-        rows.extend(self._open)
+            for entry in segment:
+                if isinstance(entry, Batch):
+                    rows.extend(entry.rows)
+                else:
+                    rows.append(entry)
+        for entry in self._open:
+            if isinstance(entry, Batch):
+                rows.extend(entry.rows)
+            else:
+                rows.append(entry)
         return rows
 
     def remove(self, tids: typing.AbstractSet[Tid]) -> list[Row]:
@@ -85,17 +117,26 @@ class RecoveryLog:
 
         Used when a retrospective repartition moves tuples to another
         consumer: they leave this channel's log and are re-logged on
-        the new channel when resent.
+        the new channel when resent.  A logged block containing any
+        matched tuple is filtered in place (column-backed slice-out);
+        blocks untouched by ``tids`` are kept whole.
         """
         removed: list[Row] = []
 
-        def filter_segment(segment: list[Row]) -> list[Row]:
+        def filter_segment(segment: list) -> list:
             kept = []
-            for row in segment:
-                if row.tid in tids:
-                    removed.append(row)
+            for entry in segment:
+                if isinstance(entry, Batch):
+                    kept_block, dropped = entry.filter_tids(tids)
+                    if dropped:
+                        removed.extend(row for row in entry.rows
+                                       if row.tid in tids)
+                    if len(kept_block):
+                        kept.append(kept_block)
+                elif entry.tid in tids:
+                    removed.append(entry)
                 else:
-                    kept.append(row)
+                    kept.append(entry)
             return kept
 
         for sealed_id in list(self._sealed):

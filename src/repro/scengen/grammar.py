@@ -26,7 +26,8 @@ import typing
 
 #: Bump on any change to the scenario space or the draw order: a
 #: corpus is only reproducible against the grammar that generated it.
-GRAMMAR_VERSION = 1
+#: v2 added the ``columnar`` axis (columnar vs legacy row plane).
+GRAMMAR_VERSION = 2
 
 #: Adaptivity pacing profiles by name.  ``paper`` keeps the paper's
 #: conservative defaults (one adaptation per run); ``twitchy`` is the
@@ -108,6 +109,7 @@ class Scenario:
     batch_size: int
     policy: str
     pacing: str
+    columnar: bool = True
     perturbations: tuple = ()
     chaos: ChaosRule | None = None
     fault_tolerance: bool = False
@@ -179,6 +181,7 @@ _SIZES = (("small", (60, 90)), ("medium", (120, 180)),
 _WORLD_SEEDS = tuple((str(i), i) for i in range(4))
 _MACHINES = (("2", 2), ("3", 3))
 _BATCHES = (("1", 1), ("4", 4), ("32", 32))
+_COLUMNAR = (("on", True), ("off", False))
 _POLICIES = ((STATIC_POLICY, STATIC_POLICY),
              ("paper-A1R1", "paper-A1R1"), ("paper-A1R2", "paper-A1R2"),
              ("paper-A2R1", "paper-A2R1"), ("paper-A2R2", "paper-A2R2"),
@@ -206,6 +209,9 @@ _CHAOS_KINDS = {
 DEFAULT_WEIGHTS = {
     f"policy:{STATIC_POLICY}": 0.5,
     "chaos:none": 2.0,
+    # The legacy row plane is contractually bit-identical to the
+    # columnar one, so it needs coverage but not half the corpus.
+    "columnar:off": 0.5,
 }
 
 
@@ -282,6 +288,7 @@ class ScenarioGrammar:
         world_seed = self._pick(rng, "world", _WORLD_SEEDS, chosen)
         machines = self._pick(rng, "machines", _MACHINES, chosen)
         batch = self._pick(rng, "batch", _BATCHES, chosen)
+        columnar = self._pick(rng, "columnar", _COLUMNAR, chosen)
         policy = self._pick(rng, "policy", _POLICIES, chosen)
         pacing = self._pick(rng, "pacing", _PACINGS, chosen)
         count = self._pick(rng, "perturbs", _PERTURB_COUNTS, chosen)
@@ -295,6 +302,7 @@ class ScenarioGrammar:
             grammar_version=self.version, seed=seed, query=query,
             sequences=sequences, interactions=interactions,
             world_seed=world_seed, compute_machines=machines,
-            batch_size=batch, policy=policy, pacing=pacing,
+            batch_size=batch, columnar=columnar,
+            policy=policy, pacing=pacing,
             perturbations=perturbations, chaos=chaos,
             fault_tolerance=fault_tolerance, rules=tuple(chosen))

@@ -49,3 +49,7 @@ class GridDataService(GridService):
     def read(self, start: int, count: int) -> list:
         """Local rows ``[start, start+count)`` (used by co-located scans)."""
         return self.relation.rows[start:start + count]
+
+    def read_block(self, start: int, count: int):
+        """Like :meth:`read` but as a columnar batch (same rows/tids)."""
+        return self.relation.read_block(start, count)

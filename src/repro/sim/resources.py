@@ -57,6 +57,11 @@ class Cpu:
             self._speed_fn = lambda _t: constant
         self._pending: collections.deque[CpuTask] = collections.deque()
         self._serving = False
+        #: The task currently in service and its computed duration,
+        #: carried between ``_serve_step`` scheduling the service
+        #: timeout and ``_on_task_done`` completing the task.
+        self._current: CpuTask | None = None
+        self._current_duration = 0.0
         self._frozen_until = 0.0
         self.busy_time = 0.0
         self.tasks_completed = 0
@@ -87,11 +92,13 @@ class Cpu:
         if self.queue_sampler is not None:
             self.queue_sampler.sample(self.queue_length)
         if not self._serving:
-            # Claim the server slot synchronously: the process itself only
-            # starts on the next kernel step, and a second execute() call in
-            # the meantime must not spawn a competing server.
+            # Claim the server slot synchronously: the server only
+            # starts on the next kernel step, and a second execute()
+            # call in the meantime must not wake it twice.
             self._serving = True
-            self.env.process(self._serve(), name="cpu-server")
+            wake = Event(self.env)
+            wake.callbacks.append(self._on_wake)
+            wake.succeed(None)
         return task
 
     def freeze_until(self, until: float) -> None:
@@ -102,23 +109,78 @@ class Cpu:
         """
         self._frozen_until = max(self._frozen_until, until)
 
-    def _serve(self) -> typing.Generator[Event, typing.Any, None]:
-        try:
-            while self._pending:
-                while self._frozen_until > self.env.now:
-                    yield self.env.timeout(self._frozen_until - self.env.now)
-                task = self._pending.popleft()
-                task.started_at = self.env.now
-                duration = task.work / self.speed_at(self.env.now)
-                if duration > 0:
-                    yield self.env.timeout(duration)
-                self.busy_time += duration
-                self.tasks_completed += 1
-                if self.queue_sampler is not None:
-                    self.queue_sampler.sample(self.queue_length - 1)
-                task.succeed(duration)
-        finally:
-            self._serving = False
+    def _on_wake(self, _event: Event) -> None:
+        """Burst start: the wake event scheduled by :meth:`execute` fired."""
+        self._serve_step()
+
+    def _on_thaw(self, _event: Event) -> None:
+        """A freeze-wait timeout expired; re-check and keep serving."""
+        self._serve_step()
+
+    def _on_task_done(self, _event: Event) -> None:
+        """The in-service task's timeout fired: complete it, continue."""
+        task = self._current
+        duration = self._current_duration
+        self._current = None
+        self.busy_time += duration
+        self.tasks_completed += 1
+        if self.queue_sampler is not None:
+            self.queue_sampler.sample(self.queue_length - 1)
+        task.succeed(duration)
+        self._serve_step()
+
+    def _serve_step(self) -> None:
+        """Advance the FIFO server as far as it can go without waiting.
+
+        The server is a callback state machine rather than a process:
+        the simulator's single hottest loop spent a Process + generator
+        + bootstrap/done event dispatch per burst plus a generator
+        resume per task, all of it pure host overhead.  Event
+        accounting is identical to the historical process-per-burst
+        server, so ``events_scheduled`` and the timeline are
+        bit-for-bit unchanged:
+
+        * burst start — the old server's Process bootstrap scheduled
+          one event; the wake event in :meth:`execute` schedules one
+          event at the same position, and its dispatch runs this step
+          exactly where the bootstrap's dispatch resumed the old
+          generator;
+        * freeze waits and task service — one timeout each, exactly as
+          the old generator yielded them, with completion bookkeeping
+          running at the timeout's dispatch either way;
+        * burst end — the old generator's return made the Process
+          event schedule itself (one event, dispatched later as a
+          callback-less no-op that runs no user code).  The park
+          consumes that sequence number directly (``env._seq += 1``).
+          Removing a no-op dispatch cannot reorder user callbacks, and
+          consuming its number keeps every later event's heap key —
+          and therefore all tie-breaking — unchanged.
+        """
+        env = self.env
+        pending = self._pending
+        while True:
+            if not pending:
+                self._serving = False
+                env._seq += 1
+                return
+            if self._frozen_until > env._now:
+                timeout = env.timeout(self._frozen_until - env._now)
+                timeout.callbacks.append(self._on_thaw)
+                return
+            task = pending.popleft()
+            task.started_at = env._now
+            duration = task.work / self.speed_at(env._now)
+            if duration > 0:
+                self._current = task
+                self._current_duration = duration
+                timeout = env.timeout(duration)
+                timeout.callbacks.append(self._on_task_done)
+                return
+            self.busy_time += duration
+            self.tasks_completed += 1
+            if self.queue_sampler is not None:
+                self.queue_sampler.sample(self.queue_length - 1)
+            task.succeed(duration)
 
     def utilisation(self, horizon: float | None = None) -> float:
         """Fraction of time busy over ``[0, horizon]`` (default: now)."""

@@ -153,6 +153,20 @@ class Store:
         self._settle()
         return removed
 
+    def remap(self, mapper: typing.Callable[[typing.Any], typing.Any]
+              ) -> None:
+        """Rewrite buffered items in place: ``mapper(item)`` returns the
+        replacement item, or ``None`` to drop it.  Order is preserved
+        and no events fire (the generalized ``remove_if``, used to
+        filter rows *inside* composite items such as wire blocks)."""
+        kept: collections.deque[typing.Any] = collections.deque()
+        for item in self.items:
+            replacement = mapper(item)
+            if replacement is not None:
+                kept.append(replacement)
+        self.items = kept
+        self._settle()
+
     def _settle(self) -> None:
         """Match buffered items with getters and admit blocked putters.
 

@@ -123,33 +123,50 @@ class Histogram(Instrument):
     def __init__(self, name: str, labels: typing.Mapping[str, str]) -> None:
         super().__init__(name, labels)
         self._values: list[float] = []
+        # Dirty-flag cache of the sorted samples: quantile queries and
+        # the p50/p95/p99 export sorted the full list per call — three
+        # sorts per histogram per export.  The cache sorts once after
+        # each run of observes and every quantile reads it, which is
+        # value-identical (same nearest-rank over the same samples).
+        self._sorted: list[float] | None = None
         self.total = 0.0
 
     def observe(self, value: float) -> None:
         self._values.append(value)
+        self._sorted = None
         self.total += value
 
     @property
     def count(self) -> int:
         return len(self._values)
 
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
     def quantile(self, fraction: float) -> float:
-        return percentile(self._values, fraction)
+        if not self._values:
+            raise ValueError("percentile of empty sequence")
+        ordered = self._ordered()
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[rank - 1]
 
     def summary(self) -> dict:
         """count/sum/min/max/mean plus the standard quantiles."""
         if not self._values:
             return {"count": 0, "sum": 0.0}
+        ordered = self._ordered()
         stats = {
-            "count": len(self._values),
+            "count": len(ordered),
             "sum": self.total,
-            "min": min(self._values),
-            "max": max(self._values),
-            "mean": self.total / len(self._values),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": self.total / len(ordered),
         }
         for fraction in QUANTILES:
-            stats[f"p{int(fraction * 100)}"] = percentile(
-                self._values, fraction)
+            rank = max(1, math.ceil(fraction * len(ordered)))
+            stats[f"p{int(fraction * 100)}"] = ordered[rank - 1]
         return stats
 
     def payload(self) -> dict:

@@ -56,6 +56,30 @@ class TestGeneration:
         scenario = ScenarioGrammar().generate(0, 0)
         assert scenario.grammar_version == GRAMMAR_VERSION
 
+    def test_columnar_axis_drawn(self):
+        """Grammar v2 draws the data-plane axis and records its rule;
+        both planes appear in a modest corpus."""
+        grammar = ScenarioGrammar()
+        planes = set()
+        for index in range(40):
+            scenario = grammar.generate(0, index)
+            suffix = "on" if scenario.columnar else "off"
+            assert f"columnar:{suffix}" in scenario.rules
+            planes.add(scenario.columnar)
+        assert planes == {True, False}
+
+    def test_columnar_weight_steering(self):
+        grammar = ScenarioGrammar({"columnar:on": 0.0})
+        assert not any(grammar.generate(0, index).columnar
+                       for index in range(20))
+
+    def test_columnar_defaults_on_for_old_corpora(self):
+        """Pre-v2 corpus records (no ``columnar`` key) load with the
+        engine default, keeping shrunk repros valid."""
+        record = ScenarioGrammar().generate(0, 0).to_json()
+        del record["columnar"]
+        assert Scenario.from_json(record).columnar is True
+
     def test_freeze_chaos_implies_fault_tolerance(self):
         found_freeze = False
         grammar = ScenarioGrammar({"chaos:freeze": 50.0,
