@@ -1,7 +1,8 @@
 """Seed-reproducible chaos injection and the defenses against it."""
 
 from repro.chaos.config import (ChaosConfig, FaultSchedule, LinkFault,
-                                MachineFreeze, RetryPolicy, ServiceFault)
+                                MachineCrash, MachineFreeze, RetryPolicy,
+                                ServiceFault)
 from repro.chaos.injector import ChaosInjector, MessageFault
 
 __all__ = [
@@ -9,6 +10,7 @@ __all__ = [
     "ChaosInjector",
     "FaultSchedule",
     "LinkFault",
+    "MachineCrash",
     "MachineFreeze",
     "MessageFault",
     "RetryPolicy",

@@ -117,6 +117,28 @@ class MachineFreeze:
 
 
 @dataclasses.dataclass(frozen=True)
+class MachineCrash:
+    """A permanent fail-stop of one machine (terminal, unlike a freeze).
+
+    At ``at_ms`` every service hosted on the machine crashes, the CPU
+    gate closes forever (queued and future work never serves), and
+    heartbeats never resume — so the GDQS's failure detector declares
+    the machine dead and either recovers its evaluators elsewhere or
+    fails the query with a typed outcome.  Like every other fault the
+    crash is part of the seeded schedule: the same seed and schedule
+    replay the same crash bit-for-bit.
+    """
+
+    machine: str
+    at_ms: float
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ConfigurationError(
+                f"crash at_ms must be non-negative: {self.at_ms}")
+
+
+@dataclasses.dataclass(frozen=True)
 class ServiceFault:
     """Transient Web Service failures for matching operations.
 
@@ -150,10 +172,12 @@ class FaultSchedule:
     link_faults: tuple = ()
     freezes: tuple = ()
     service_faults: tuple = ()
+    crashes: tuple = ()
 
     @property
     def is_empty(self) -> bool:
-        return not (self.link_faults or self.freezes or self.service_faults)
+        return not (self.link_faults or self.freezes
+                    or self.service_faults or self.crashes)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -248,6 +272,7 @@ class ChaosConfig:
               delay_ms: float = 0.0,
               ws_failure_probability: float = 0.0,
               freezes: typing.Sequence[MachineFreeze] = (),
+              crashes: typing.Sequence[MachineCrash] = (),
               **changes) -> "ChaosConfig":
         """An enabled config with one grid-wide fault rule per knob."""
         link_faults = ()
@@ -264,5 +289,6 @@ class ChaosConfig:
         return cls(enabled=True,
                    schedule=FaultSchedule(link_faults=link_faults,
                                           freezes=tuple(freezes),
-                                          service_faults=service_faults),
+                                          service_faults=service_faults,
+                                          crashes=tuple(crashes)),
                    **changes)

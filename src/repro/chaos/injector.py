@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import typing
 
-from repro.chaos.config import ChaosConfig, MachineFreeze, RetryPolicy
+from repro.chaos.config import (ChaosConfig, MachineCrash, MachineFreeze,
+                                RetryPolicy)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.grid.container import GridContext
@@ -58,6 +59,7 @@ class ChaosInjector:
         self.call_retries = 0
         self.ws_retries = 0
         self.machines_frozen = 0
+        self.machines_crashed = 0
         metrics = context.metrics
         self._metric_dropped = metrics.counter("chaos_messages_dropped")
         self._metric_duplicated = metrics.counter(
@@ -69,12 +71,16 @@ class ChaosInjector:
             kind: metrics.counter("chaos_retries", kind=kind)
             for kind in ("send", "call", "ws")}
         self._metric_freezes = metrics.counter("chaos_machines_frozen")
+        self._metric_crashes = metrics.counter("chaos_machines_crashed")
 
     def start(self) -> None:
-        """Schedule the deterministic faults (machine freezes)."""
+        """Schedule the deterministic faults (freezes and crashes)."""
         for freeze in self.config.schedule.freezes:
             self.env.process(self._freeze_process(freeze),
                              name=f"chaos:freeze:{freeze.machine}")
+        for crash in self.config.schedule.crashes:
+            self.env.process(self._crash_process(crash),
+                             name=f"chaos:crash:{crash.machine}")
 
     def _freeze_process(self, freeze: MachineFreeze) -> typing.Generator:
         if freeze.at_ms > self.env.now:
@@ -87,6 +93,16 @@ class ChaosInjector:
             "chaos", "chaos-injector", "machine frozen",
             machine=freeze.machine, duration_ms=freeze.duration_ms,
             until_ms=round(frozen_until, 3))
+
+    def _crash_process(self, crash: MachineCrash) -> typing.Generator:
+        if crash.at_ms > self.env.now:
+            yield self.env.timeout(crash.at_ms - self.env.now)
+        victims = self.context.crash_machine(crash.machine)
+        self.machines_crashed += 1
+        self._metric_crashes.inc()
+        self.context.tracer.record(
+            "chaos", "chaos-injector", "machine crashed",
+            machine=crash.machine, services_lost=len(victims))
 
     # -- link faults -----------------------------------------------------
 
@@ -173,4 +189,5 @@ class ChaosInjector:
             "call_retries": self.call_retries,
             "ws_retries": self.ws_retries,
             "machines_frozen": self.machines_frozen,
+            "machines_crashed": self.machines_crashed,
         }

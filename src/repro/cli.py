@@ -23,13 +23,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.chaos import ChaosConfig, MachineFreeze
+from repro.chaos import ChaosConfig, MachineCrash, MachineFreeze, RetryPolicy
 from repro.config import (
     AdaptivityConfig,
     FaultToleranceConfig,
     SchedulerConfig,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueryFailedError
 from repro.policy import default_registry
 from repro.sched import WorkloadDriver, WorkloadSpec
 from repro.telemetry import format_timeline
@@ -124,6 +124,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="freeze MACHINE for DURATION_MS starting "
                         "at AT_MS (repeatable; enables fault tolerance "
                         "with a suspect timeout)")
+    parser.add_argument("--chaos-crash", action="append", default=[],
+                        metavar="MACHINE:AT_MS",
+                        help="permanently crash MACHINE at AT_MS "
+                        "(repeatable; enables fault tolerance and one "
+                        "spare; queries that cannot recover settle "
+                        "with a typed failure)")
+    parser.add_argument("--query-timeout", type=float, default=None,
+                        metavar="MS", help="workload mode: abort any "
+                        "query still running after MS (typed "
+                        "deadline-exceeded failure)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="workload mode: re-place a failed query "
+                        "up to N total attempts, blacklisting the "
+                        "machine that sank the previous attempt")
+    parser.add_argument("--max-recoveries", type=int, default=None,
+                        metavar="N", help="per-query machine-recovery "
+                        "budget: the N+1th machine loss fails the "
+                        "query with a typed outcome (default: "
+                        "unlimited)")
     parser.add_argument("--suspect-timeout", type=float, default=None,
                         metavar="MS", help="quarantine a clone silent "
                         "for MS (between heartbeat interval and "
@@ -156,8 +175,13 @@ def write_metrics(args: argparse.Namespace, grid: DemoGrid) -> None:
 def run_workload(args: argparse.Namespace, grid: DemoGrid,
                  adaptivity: AdaptivityConfig) -> int:
     """Multi-query mode: open-loop Poisson arrivals into the scheduler."""
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(max_attempts=args.retries,
+                            backoff_base_ms=100.0, backoff_cap_ms=2000.0)
     scheduler = grid.scheduler(SchedulerConfig(
-        max_concurrent=args.max_concurrent, max_queued=args.max_queued))
+        max_concurrent=args.max_concurrent, max_queued=args.max_queued,
+        query_timeout_ms=args.query_timeout, retry=retry))
     driver = WorkloadDriver(scheduler, WorkloadSpec(
         arrival_rate_qps=args.workload,
         duration_ms=args.workload_duration,
@@ -169,6 +193,9 @@ def run_workload(args: argparse.Namespace, grid: DemoGrid,
           f"{args.workload_duration / 1000.0:g} s, seed {args.seed})")
     print(f"admitted: {report.admitted}  rejected: {report.rejected}  "
           f"completed: {report.completed}")
+    print(f"outcomes: {report.completed} succeeded, {report.failed} "
+          f"failed, {report.retried} retries, {report.timed_out} "
+          f"timeouts (availability {report.availability:.0%})")
     print(f"throughput: {report.throughput_qps:.2f} queries/s "
           f"(makespan {report.makespan_ms / 1000.0:.2f} s simulated)")
     print(f"queue wait: p50 {report.queue_wait_p50_ms / 1000.0:.2f} s, "
@@ -179,6 +206,9 @@ def run_workload(args: argparse.Namespace, grid: DemoGrid,
         f"{name} {value:.0%}"
         for name, value in sorted(report.machine_utilisation.items()))
     print(f"utilisation: {utilisation}")
+    if grid.chaos is not None and grid.chaos.machines_crashed:
+        print(f"crashes: {grid.chaos.machines_crashed} machines "
+              "permanently lost")
     write_metrics(args, grid)
     if args.timeline:
         print()
@@ -215,8 +245,22 @@ def _validated_chaos(parser: argparse.ArgumentParser,
                                          float(parts[2])))
         except (ValueError, ConfigurationError) as exc:
             parser.error(f"--chaos-freeze {text!r}: {exc}")
+    crashes = []
+    for text in args.chaos_crash:
+        parts = text.split(":")
+        if len(parts) != 2:
+            parser.error(f"--chaos-crash expects MACHINE:AT_MS, "
+                         f"got {text!r}")
+        machine = parts[0]
+        if machine not in machine_names:
+            parser.error(f"--chaos-crash: unknown machine {machine!r} "
+                         f"(expected one of: {', '.join(machine_names)})")
+        try:
+            crashes.append(MachineCrash(machine, float(parts[1])))
+        except (ValueError, ConfigurationError) as exc:
+            parser.error(f"--chaos-crash {text!r}: {exc}")
     if not (args.chaos_drop or args.chaos_duplicate or args.chaos_delay
-            or args.chaos_ws_fail or freezes):
+            or args.chaos_ws_fail or freezes or crashes):
         return None
     return ChaosConfig.lossy(
         drop_probability=args.chaos_drop,
@@ -224,7 +268,8 @@ def _validated_chaos(parser: argparse.ArgumentParser,
         delay_probability=args.chaos_delay,
         delay_ms=args.chaos_delay_ms,
         ws_failure_probability=args.chaos_ws_fail,
-        freezes=tuple(freezes))
+        freezes=tuple(freezes),
+        crashes=tuple(crashes))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -265,15 +310,20 @@ def _run(parser: argparse.ArgumentParser,
                      f"{args.fail_machine!r} (expected one of: "
                      f"{', '.join(machine_names)})")
     chaos = _validated_chaos(parser, args, machine_names)
+    has_crashes = bool(chaos is not None and chaos.schedule.crashes)
     spec = DemoGridSpec(
         compute_machines=args.machines,
         sequences_cardinality=args.sequences,
         interactions_cardinality=args.interactions,
         seed=args.seed,
-        spare_machines=1 if args.fail_machine else 0)
+        spare_machines=1 if (args.fail_machine or has_crashes) else 0)
+    if args.max_recoveries is not None and args.max_recoveries < 0:
+        parser.error(f"--max-recoveries must be >= 0, got "
+                     f"{args.max_recoveries}")
     fault_tolerance = None
-    if args.fail_machine:
-        fault_tolerance = FaultToleranceConfig(enabled=True)
+    if args.fail_machine or has_crashes:
+        fault_tolerance = FaultToleranceConfig(
+            enabled=True, max_recoveries=args.max_recoveries)
     wants_suspect = (args.suspect_timeout is not None
                      or (chaos is not None and chaos.schedule.freezes))
     if wants_suspect:
@@ -301,7 +351,16 @@ def _run(parser: argparse.ArgumentParser,
                                       assessment=args.assessment)
     if args.workload is not None:
         return run_workload(args, grid, adaptivity)
-    result = grid.run(args.query, adaptivity, degree=args.degree)
+    try:
+        result = grid.run(args.query, adaptivity, degree=args.degree)
+    except QueryFailedError as exc:
+        failure = exc.failure
+        print(f"query failed: {failure.cause} "
+              f"(machine {failure.failed_machine or 'n/a'}, "
+              f"{failure.elapsed_ms / 1000.0:.2f} s elapsed, "
+              f"{failure.recoveries} recoveries)")
+        write_metrics(args, grid)
+        return 1
 
     stats = result.stats
     print(f"response time: {result.response_time_ms / 1000.0:.2f} s "
@@ -326,6 +385,9 @@ def _run(parser: argparse.ArgumentParser,
               f"{counters['ws_failures_injected']} ws failures; retries "
               f"send {counters['send_retries']} / call "
               f"{counters['call_retries']} / ws {counters['ws_retries']}")
+        if counters["machines_crashed"]:
+            print(f"crashes: {counters['machines_crashed']} machines "
+                  "permanently lost")
         if stats.clones_quarantined or stats.clones_reintegrated:
             print(f"quarantine: {stats.clones_quarantined} clones "
                   f"quarantined, {stats.clones_reintegrated} "

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.chaos.config import RetryPolicy
 from repro.errors import ConfigurationError
 
 #: Assessment policies (§3.1): A1 ignores communication cost, A2 adds
@@ -190,6 +191,13 @@ class FaultToleranceConfig:
     #: Timeout for the Responder's/GDQS's service calls so a crashed
     #: peer cannot hang a control interaction forever.
     call_timeout_ms: float = 5000.0
+    #: Recovery budget per query: after this many successful machine
+    #: recoveries a further failure terminates the query with a typed
+    #: :class:`~repro.dqp.gdqs.QueryFailed` outcome instead of
+    #: rebuilding again.  ``None`` (the default, and the pre-budget
+    #: behaviour) recovers without limit; ``0`` fails on the first
+    #: machine death.
+    max_recoveries: int | None = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval_ms <= 0:
@@ -211,6 +219,10 @@ class FaultToleranceConfig:
         if self.call_timeout_ms <= 0:
             raise ConfigurationError(
                 f"call timeout must be positive: {self.call_timeout_ms}")
+        if self.max_recoveries is not None and self.max_recoveries < 0:
+            raise ConfigurationError(
+                f"max_recoveries must be >= 0 or None: "
+                f"{self.max_recoveries}")
 
     def replace(self, **changes) -> "FaultToleranceConfig":
         return dataclasses.replace(self, **changes)
@@ -246,6 +258,29 @@ class SchedulerConfig:
     #: Prefer the least-loaded compute machines when a session's
     #: parallelism degree does not need the whole pool.
     load_aware_placement: bool = True
+    #: Per-query deadline (per attempt): a session executing longer
+    #: than this is aborted with a typed ``deadline-exceeded`` failure
+    #: and its FairShare capacity released.  ``None`` (default) never
+    #: times out and schedules no deadline events — the zero-cost
+    #: baseline timeline is untouched.
+    query_timeout_ms: float | None = None
+    #: Retry policy for failed sessions: ``max_attempts`` bounds the
+    #: *total* attempts (so ``max_attempts=3`` allows two retries) and
+    #: the capped exponential backoff paces re-submission.  Must be
+    #: bounded — an unbounded scheduler retry against a permanently
+    #: failing query never terminates.  ``None`` (default) never
+    #: retries; deadline timeouts are terminal regardless (retrying a
+    #: query that already spent its SLA only doubles the damage).
+    retry: RetryPolicy | None = None
+    #: Circuit breaker: consecutive-window failure count that opens a
+    #: machine's breaker (placement steers away until a cooled-down
+    #: half-open probe succeeds).  0 disables the health ledger.
+    breaker_threshold: int = 3
+    #: Sliding window over which failures accumulate toward the
+    #: threshold.
+    breaker_window_ms: float = 30000.0
+    #: Time an open breaker waits before half-opening one probe.
+    breaker_cooldown_ms: float = 60000.0
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -261,6 +296,31 @@ class SchedulerConfig:
             raise ConfigurationError(
                 f"machine_capacity must be positive: "
                 f"{self.machine_capacity}")
+        if self.query_timeout_ms is not None and self.query_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"query_timeout_ms must be positive or None: "
+                f"{self.query_timeout_ms}")
+        if self.retry is not None and self.retry.max_attempts is None:
+            raise ConfigurationError(
+                "scheduler retry must be bounded (max_attempts set): "
+                "an unbounded retry against a permanently failing "
+                "query never terminates")
+        if self.breaker_threshold < 0:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 0: "
+                f"{self.breaker_threshold}")
+        if self.breaker_window_ms <= 0 or self.breaker_cooldown_ms <= 0:
+            raise ConfigurationError(
+                "breaker window and cooldown must be positive")
+
+    @property
+    def resilient(self) -> bool:
+        """Whether any failure-handling feature is configured.
+
+        When False every session's ``done`` event *is* its handle's
+        event, exactly the pre-resilience wiring.
+        """
+        return self.query_timeout_ms is not None or self.retry is not None
 
     def replace(self, **changes) -> "SchedulerConfig":
         return dataclasses.replace(self, **changes)

@@ -17,6 +17,7 @@ from repro.config import (
     FaultToleranceConfig,
 )
 from repro.dqp.gdqs import GDQS, QueryResult
+from repro.errors import QueryFailedError
 from repro.grid.container import GridContext
 from repro.services.gds import GridDataService
 from repro.services.ws import WebServiceOperation
@@ -46,6 +47,10 @@ class QueryProcessor:
         ``adaptivity`` selects the paper's policies (assessment A1/A2,
         response R1/R2, thresholds); ``degree`` caps intra-operator
         parallelism.
+
+        Raises :class:`~repro.errors.QueryFailedError` if the query
+        settles with a typed failure (crash past the recovery budget,
+        unrecoverable machine loss, replacement exhaustion).
         """
         handle = self.gdqs.submit(query_text, adaptivity=adaptivity,
                                   degree=degree)
@@ -53,4 +58,6 @@ class QueryProcessor:
         # Drain teardown traffic (query-complete broadcasts etc.) so a
         # follow-up query starts from a quiet grid.
         self.context.env.run()
+        if getattr(result, "failed", False):
+            raise QueryFailedError(result)
         return result

@@ -76,6 +76,9 @@ class QueryRuntime:
     balancing_task: BalancingTask | None
     #: GQES endpoints whose failure the GDQS has already handled.
     failures_handled: set = dataclasses.field(default_factory=set)
+    #: Successful machine recoveries performed for this query (the
+    #: ``FaultToleranceConfig.max_recoveries`` budget counter).
+    recoveries: int = 0
     #: The adaptation policy shared by this query's detectors,
     #: Diagnoser and Responder (None when adaptivity is disabled).
     policy: AdaptationPolicy | None = None

@@ -100,12 +100,44 @@ class QueryResult:
     schema: Schema
     stats: QueryStatistics
 
+    #: Terminal-outcome discriminator shared with :class:`QueryFailed`.
+    failed: typing.ClassVar[bool] = False
+
     @property
     def response_time_ms(self) -> float:
         return self.stats.response_time_ms
 
     def values(self) -> list[tuple]:
         return [row.values for row in self.rows]
+
+
+#: Typed failure causes (the ``QueryFailed.cause`` vocabulary).
+CAUSE_DEADLINE = "deadline-exceeded"
+CAUSE_NO_REPLACEMENT = "replacement-exhausted"
+CAUSE_UNRECOVERABLE = "machine-unrecoverable"
+CAUSE_BUDGET = "recovery-budget-exhausted"
+CAUSE_UNPLANNABLE = "placement-infeasible"
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryFailed:
+    """Typed terminal failure of one query.
+
+    Carried as the *value* of a succeeded ``QueryHandle.done`` event —
+    never as an exception out of the simulation — so every waiter
+    (scheduler completion callbacks, ``env.run(until=done)``) observes
+    a clean terminal outcome and dispatch of a listener-less done
+    event cannot raise.  ``failed`` discriminates it from
+    :class:`QueryResult` at completion sites.
+    """
+
+    query_id: str
+    cause: str
+    failed_machine: str | None
+    elapsed_ms: float
+    recoveries: int = 0
+
+    failed: typing.ClassVar[bool] = True
 
 
 class QueryHandle:
@@ -124,6 +156,7 @@ class QueryHandle:
         self.query_id = query_id
         self.done = done
         self.result: QueryResult | None = None
+        self.failure: QueryFailed | None = None
         self.runtime: QueryRuntime | None = None
         self.submitted_at: float = 0.0
         self.started_at: float = 0.0
@@ -164,6 +197,7 @@ class GDQS(GridService):
         self.failures_recovered = 0
         self.clones_quarantined = 0
         self.clones_reintegrated = 0
+        self.queries_failed = 0
 
     def on_notification(self, topic: str, payload: typing.Any,
                         sender: str) -> None:
@@ -173,7 +207,8 @@ class GDQS(GridService):
     def submit(self, query_text: str,
                adaptivity: AdaptivityConfig | None = None,
                degree: int | None = None,
-               machine_order: typing.Sequence[str] | None = None
+               machine_order: typing.Sequence[str] | None = None,
+               exclude_machines: typing.Container[str] = ()
                ) -> QueryHandle:
         """Compile, deploy and start ``query_text``.
 
@@ -183,6 +218,8 @@ class GDQS(GridService):
         preferred first) honoured by the optimizer when the plan's
         parallelism degree does not need the whole pool — the
         multi-query scheduler uses it for least-loaded placement.
+        ``exclude_machines`` is a best-effort placement blacklist
+        (the scheduler's retry re-placement).
         """
         adaptivity = adaptivity or AdaptivityConfig()
         self._query_counter += 1
@@ -202,7 +239,8 @@ class GDQS(GridService):
         plan = optimize(logical, self.context.registry,
                         coordinator_machine=self.machine.name,
                         degree=degree, query_id=query_id,
-                        machine_order=machine_order)
+                        machine_order=machine_order,
+                        exclude_machines=exclude_machines)
         runtime = deploy_query(self.context, plan, self.gds_map,
                                self.operations, engine_config,
                                self.cost, adaptivity,
@@ -228,6 +266,10 @@ class GDQS(GridService):
                      runtime: QueryRuntime) -> typing.Generator:
         submitted_at = self.env.now
         yield runtime.sink.done
+        if handle.done.triggered:
+            # The query was aborted or failed while the sink raced to
+            # the finish line; the typed outcome already went out.
+            return
         # Termination double-check: trust the sink's completion only
         # once every GQES is quiescent, so an adaptation racing the
         # finish line (replays in flight to an already-finished
@@ -246,6 +288,8 @@ class GDQS(GridService):
 
         while not settled():
             yield self.env.timeout(5.0)
+            if handle.done.triggered:
+                return
         response_time = runtime.sink.completed_at - submitted_at
         # Broadcast completion so evaluators and detectors wind down.
         for gqes in runtime.all_gqes():
@@ -260,6 +304,53 @@ class GDQS(GridService):
             query_id=handle.query_id,
             response_ms=round(response_time, 1))
         handle.done.succeed(handle.result)
+
+    def _fail_query(self, handle: QueryHandle, runtime: QueryRuntime,
+                    cause: str, failed_machine: str | None) -> None:
+        """Terminate a query with a typed failure outcome.
+
+        The failure travels as the *value* of the succeeded ``done``
+        event, so synchronous waiters and callback listeners both see a
+        clean settlement — never an unhandled exception inside the
+        simulation loop.  All participants get the same QueryComplete
+        broadcast a success would send, so heartbeats, detectors and
+        evaluators wind down identically.
+        """
+        if handle.done.triggered:
+            return
+        handle.completed_at = self.env.now
+        elapsed = self.env.now - handle.started_at
+        failure = QueryFailed(
+            query_id=handle.query_id,
+            cause=cause,
+            failed_machine=failed_machine,
+            elapsed_ms=elapsed,
+            recoveries=runtime.recoveries)
+        handle.failure = failure
+        self.queries_failed += 1
+        for gqes in runtime.all_gqes():
+            self.send(gqes.name, KIND_CONTROL,
+                      QueryComplete(handle.query_id))
+        self.context.tracer.record(
+            "query", self.name, "query failed",
+            query_id=handle.query_id, cause=cause,
+            failed_machine=failed_machine or "",
+            elapsed_ms=round(elapsed, 1), recoveries=runtime.recoveries)
+        handle.done.succeed(failure)
+
+    def abort(self, handle: QueryHandle, cause: str,
+              failed_machine: str | None = None) -> bool:
+        """Abort a running query (scheduler deadline enforcement).
+
+        Returns True if this call terminated the query, False if the
+        query had already settled (success or failure) — aborting a
+        finished query is a harmless no-op so expired deadline timers
+        never race the completion path.
+        """
+        if handle.runtime is None or handle.done.triggered:
+            return False
+        self._fail_query(handle, handle.runtime, cause, failed_machine)
+        return True
 
     # -- failure detection and recovery ---------------------------------------
 
@@ -291,18 +382,42 @@ class GDQS(GridService):
                 silent_ms = self.env.now - last_seen
                 if silent_ms > ft.failure_timeout_ms:
                     quarantined = suspected.pop(gqes.name, [])
+                    if (ft.max_recoveries is not None
+                            and runtime.recoveries >= ft.max_recoveries):
+                        self._fail_query(handle, runtime, CAUSE_BUDGET,
+                                         gqes.machine.name)
+                        return
                     runtime.failures_handled.add(gqes.name)
                     try:
-                        yield from self._recover(runtime, gqes)
+                        recovered = yield from self._recover(runtime, gqes)
                     except ServiceError:
                         # A control peer was unreachable mid-recovery;
-                        # retry on a later monitor tick.
+                        # retry on a later monitor tick.  The suspect
+                        # bookkeeping must survive the retry, or the
+                        # quarantined clone indices would be lost and
+                        # the eventual recovery would leave the rebuilt
+                        # clones starved at weight zero.
                         runtime.failures_handled.discard(gqes.name)
+                        if quarantined:
+                            suspected[gqes.name] = quarantined
                         self.context.tracer.record(
                             "failure", self.name,
                             "recovery attempt failed; will retry",
                             failed=gqes.name)
                         continue
+                    except PlanningError:
+                        self._fail_query(handle, runtime,
+                                         CAUSE_NO_REPLACEMENT,
+                                         gqes.machine.name)
+                        return
+                    if not recovered:
+                        # A data host or the coordinator died: their
+                        # state is not reconstructible from recovery
+                        # logs, so the query cannot make progress.
+                        self._fail_query(handle, runtime,
+                                         CAUSE_UNRECOVERABLE,
+                                         gqes.machine.name)
+                        return
                     # The replacement starts healthy: lift any
                     # quarantine the suspect phase imposed, else the
                     # rebuilt clones would never receive work.
@@ -356,15 +471,19 @@ class GDQS(GridService):
                           failed_machine: str) -> str:
         registry = self.context.registry
         in_use = set(runtime.gqes_by_machine)
+
+        def alive(name: str) -> bool:
+            return not registry.machine(name).is_crashed
+
         for name in registry.spare_machines():
-            if name not in in_use:
+            if name not in in_use and alive(name):
                 return name
         for name in registry.compute_machines():
-            if name not in in_use and name != failed_machine:
+            if name not in in_use and name != failed_machine and alive(name):
                 return name
         # Last resort: double up on a surviving compute machine.
         for name in runtime.plan.compute.machine_names:
-            if name != failed_machine:
+            if name != failed_machine and alive(name):
                 return name
         raise PlanningError(
             f"no replacement machine available for {failed_machine}")
@@ -385,7 +504,8 @@ class GDQS(GridService):
         lost = [fragment for fragment in failed.fragments.values()
                 if fragment.subplan_id == compute_id]
         if not lost:
-            return  # a data host or the coordinator died: unrecoverable
+            # A data host or the coordinator died: unrecoverable.
+            return False
         replacement = self._pick_replacement(runtime, failed.machine.name)
         adaptivity = runtime.adaptivity
         monitoring_on = adaptivity.enabled and adaptivity.m1_interval > 0
@@ -453,10 +573,12 @@ class GDQS(GridService):
                 # producer is left mid-move.
                 yield from self._finalize_orphaned_updates(runtime)
         self.failures_recovered += 1
+        runtime.recoveries += 1
         self.context.tracer.record(
             "failure", self.name, "evaluators recovered",
             failed_machine=failed.machine.name, replacement=replacement,
             instances=len(lost))
+        return True
 
     def _finalize_orphaned_updates(self, runtime: QueryRuntime
                                    ) -> typing.Generator:

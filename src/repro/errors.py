@@ -52,6 +52,25 @@ class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class QueryFailedError(ReproError):
+    """A query terminated with a typed failure outcome.
+
+    Raised by synchronous facades (``QueryProcessor.run``) when the
+    query's :class:`~repro.dqp.gdqs.QueryHandle` completes with a
+    :class:`~repro.dqp.gdqs.QueryFailed` instead of a result.  The
+    outcome rides on ``failure`` so callers can inspect the cause,
+    the machine that failed, and the elapsed time.
+    """
+
+    def __init__(self, failure) -> None:
+        super().__init__(
+            f"query {failure.query_id} failed: {failure.cause} "
+            f"(machine {failure.failed_machine or 'n/a'}, "
+            f"{failure.elapsed_ms:.0f} ms elapsed, "
+            f"{failure.recoveries} recoveries)")
+        self.failure = failure
+
+
 class SchedulerError(ReproError):
     """Misuse of the multi-query scheduler."""
 

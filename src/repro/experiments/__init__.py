@@ -6,8 +6,8 @@ Run them all from the command line::
 
 or individually (``table1``, ``fig2a``, ``fig2b``, ``fig3a``,
 ``fig3b``, ``fig4``, ``fig5``, ``overheads``, ``monitoring``,
-``recovery``, ``multiquery``, ``chaos``, ``tournament``,
-``tournament-smoke``).
+``recovery``, ``multiquery``, ``chaos``, ``resilience``,
+``tournament``, ``tournament-smoke``).
 """
 
 from repro.experiments import (
@@ -19,6 +19,7 @@ from repro.experiments import (
     multiquery,
     overheads,
     recovery,
+    resilience,
     table1,
     tournament,
 )
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "recovery": recovery.run,
     "monitoring": overheads.run_monitoring_frequency,
     "chaos": chaos.run,
+    "resilience": resilience.run,
     "tournament": tournament.run,
     "tournament-smoke": tournament.run_smoke,
 }

@@ -43,11 +43,14 @@ class GridContext:
     def install_chaos(self, config) -> None:
         """Install (or clear) the chaos injector for this grid.
 
-        A ``None`` or disabled :class:`~repro.chaos.config.ChaosConfig`
-        installs nothing, preserving the bit-identical baseline
-        timeline.
+        A ``None``, disabled, or empty-schedule
+        :class:`~repro.chaos.config.ChaosConfig` installs nothing,
+        preserving the bit-identical baseline timeline: chaos with no
+        faults to inject must not exist as far as the simulation can
+        tell.
         """
-        if config is None or not config.enabled:
+        if (config is None or not config.enabled
+                or config.schedule.is_empty):
             self.chaos = None
             self.network.chaos = None
             return
@@ -78,6 +81,24 @@ class GridContext:
         for service in victims:
             service.crash()
         self.tracer.record("failure", machine_name, "machine failed",
+                           services_lost=len(victims))
+        return victims
+
+    def crash_machine(self, machine_name: str) -> list:
+        """Permanently fail-stop ``machine_name``; returns lost services.
+
+        Beyond :meth:`fail_machine` (which only kills the *services*,
+        leaving the host available for replacement deployments), this
+        also crashes the machine itself: the CPU gate closes forever
+        and every placement layer excludes it from now on — heartbeats
+        never resume, so the GDQS declares it dead rather than suspect.
+        """
+        machine = self.registry.machine(machine_name)
+        machine.crash()
+        victims = self.services_on(machine_name)
+        for service in victims:
+            service.crash()
+        self.tracer.record("failure", machine_name, "machine crashed",
                            services_lost=len(victims))
         return victims
 

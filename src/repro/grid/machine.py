@@ -69,6 +69,8 @@ class Machine:
         #: End of the current chaos-injected stall window (sim ms);
         #: 0.0 (i.e. the past) means not frozen.
         self.frozen_until = 0.0
+        #: Simulated time of a permanent fail-stop; None = alive.
+        self.crashed_at: float | None = None
         if metrics is not None:
             self._register_metrics(metrics)
 
@@ -147,6 +149,26 @@ class Machine:
         self.frozen_until = max(self.frozen_until, until)
         self.cpu.freeze_until(self.frozen_until)
         return self.frozen_until
+
+    # -- permanent crashes (fault tolerance) ----------------------------
+
+    @property
+    def is_crashed(self) -> bool:
+        return self.crashed_at is not None
+
+    def crash(self) -> None:
+        """Fail-stop this machine forever (idempotent).
+
+        The CPU gate closes permanently — queued and future work never
+        serves — and placement layers (optimizer candidates, scheduler
+        machine order, recovery replacement picks) must skip the
+        machine from now on.  Service-level teardown (endpoint
+        deactivation, fragment halts) is the caller's job; see
+        :meth:`repro.grid.container.GridContext.crash_machine`.
+        """
+        if self.crashed_at is None:
+            self.crashed_at = self.env.now
+            self.cpu.close()
 
     def add_perturbation(self, perturbation: Perturbation) -> None:
         """Attach a perturbation model to this machine."""

@@ -41,9 +41,21 @@ _query_ids = itertools.count(1)
 def _pick_compute_machines(registry: ResourceRegistry,
                            data_hosts: set[str], coordinator: str,
                            degree: int | None,
-                           machine_order: typing.Sequence[str] | None = None
+                           machine_order: typing.Sequence[str] | None = None,
+                           exclude: typing.Container[str] = ()
                            ) -> list[str]:
-    candidates = registry.compute_machines()
+    # Permanently crashed machines are not resources: deploying a
+    # fragment there would park its dispatch behind a closed CPU gate
+    # forever.  ``exclude`` additionally blacklists machines the
+    # caller distrusts (the scheduler's retry path names the machine
+    # that failed the previous attempt); unlike a crash the blacklist
+    # is advisory — if honouring it would empty the pool, it yields.
+    candidates = [name for name in registry.compute_machines()
+                  if not registry.machine(name).is_crashed]
+    if exclude:
+        spared = [name for name in candidates if name not in exclude]
+        if spared:
+            candidates = spared
     preferred = [name for name in candidates
                  if name not in data_hosts and name != coordinator]
     chosen = preferred or candidates
@@ -95,7 +107,8 @@ def _scan_subplan(logical_scan: LogicalScan, registry: ResourceRegistry,
 def optimize(logical: LogicalPlan, registry: ResourceRegistry,
              coordinator_machine: str, degree: int | None = None,
              query_id: str | None = None,
-             machine_order: typing.Sequence[str] | None = None
+             machine_order: typing.Sequence[str] | None = None,
+             exclude_machines: typing.Container[str] = ()
              ) -> PhysicalPlan:
     """Turn a logical plan into a deployable physical plan.
 
@@ -103,11 +116,14 @@ def optimize(logical: LogicalPlan, registry: ResourceRegistry,
     machines (most preferred first); the multi-query scheduler passes
     the least-loaded ordering so capped-degree sessions spread across
     the pool instead of piling onto the registry's first machines.
+    ``exclude_machines`` is a best-effort blacklist (retry
+    re-placement); crashed machines are always excluded.
     """
     data_hosts = {registry.table(scan.table_name).machine_name
                   for scan in logical.scans}
     compute_machines = _pick_compute_machines(
-        registry, data_hosts, coordinator_machine, degree, machine_order)
+        registry, data_hosts, coordinator_machine, degree, machine_order,
+        exclude_machines)
     weights = _initial_weights(registry, compute_machines)
     query_id = query_id or f"q{next(_query_ids)}"
 

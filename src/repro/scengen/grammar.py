@@ -27,7 +27,8 @@ import typing
 #: Bump on any change to the scenario space or the draw order: a
 #: corpus is only reproducible against the grammar that generated it.
 #: v2 added the ``columnar`` axis (columnar vs legacy row plane).
-GRAMMAR_VERSION = 2
+#: v3 added the ``crash`` chaos kind (permanent machine loss).
+GRAMMAR_VERSION = 3
 
 #: Adaptivity pacing profiles by name.  ``paper`` keeps the paper's
 #: conservative defaults (one adaptation per run); ``twitchy`` is the
@@ -79,6 +80,14 @@ class FreezeRule:
 
 
 @dataclasses.dataclass(frozen=True)
+class CrashRule:
+    """A permanent machine crash by compute-machine index (0-based)."""
+
+    machine_index: int
+    at_ms: float
+
+
+@dataclasses.dataclass(frozen=True)
 class ChaosRule:
     """Chaos knobs; mapped onto :func:`repro.chaos.ChaosConfig.lossy`."""
 
@@ -88,6 +97,7 @@ class ChaosRule:
     delay_ms: float = 0.0
     ws_failure: float = 0.0
     freezes: tuple = ()
+    crashes: tuple = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,6 +145,8 @@ class Scenario:
             chaos = dataclasses.asdict(self.chaos)
             chaos["freezes"] = [dataclasses.asdict(f)
                                 for f in self.chaos.freezes]
+            chaos["crashes"] = [dataclasses.asdict(c)
+                                for c in self.chaos.crashes]
             record["chaos"] = chaos
         record["rules"] = list(self.rules)
         return record
@@ -152,6 +164,8 @@ class Scenario:
             chaos = dict(chaos)
             chaos["freezes"] = tuple(FreezeRule(**f)
                                      for f in chaos.get("freezes", ()))
+            chaos["crashes"] = tuple(CrashRule(**c)
+                                     for c in chaos.get("crashes", ()))
             record["chaos"] = ChaosRule(**chaos)
         record["rules"] = tuple(record.get("rules", ()))
         return cls(**record)
@@ -198,10 +212,11 @@ _PERTURB_KINDS = {
 }
 _CHAOS_KINDS = {
     "Q1": (("none", None), ("lossy", "lossy"), ("laggy", "laggy"),
-           ("freeze", "freeze"), ("flaky-ws", "flaky-ws")),
+           ("freeze", "freeze"), ("crash", "crash"),
+           ("flaky-ws", "flaky-ws")),
     # Q2 has no WS call to make flaky.
     "Q2": (("none", None), ("lossy", "lossy"), ("laggy", "laggy"),
-           ("freeze", "freeze")),
+           ("freeze", "freeze"), ("crash", "crash")),
 }
 
 #: Rules that start below neutral weight: static runs exercise no
@@ -274,6 +289,12 @@ class ScenarioGrammar:
             return ChaosRule(delay=0.10, delay_ms=rng.choice((2.0, 6.0)))
         if kind == "flaky-ws":
             return ChaosRule(ws_failure=0.05)
+        if kind == "crash":
+            # Always the second compute machine: the first hosts the
+            # double-up fallback when no spare exists, so every crash
+            # scenario is recoverable and must terminate cleanly.
+            return ChaosRule(crashes=(CrashRule(
+                machine_index=1, at_ms=rng.choice((600.0, 1000.0))),))
         return ChaosRule(freezes=(FreezeRule(
             machine_index=1, at_ms=rng.choice((500.0, 900.0)),
             duration_ms=1500.0),))
@@ -295,9 +316,11 @@ class ScenarioGrammar:
         perturbations = tuple(self._perturbation(rng, query, chosen)
                               for _ in range(count))
         chaos = self._chaos(rng, query, chosen)
-        # Freezes stall heartbeats; the suspect/quarantine path only
-        # exists when fault tolerance is on, so the rule implies it.
-        fault_tolerance = bool(chaos is not None and chaos.freezes)
+        # Freezes stall heartbeats and crashes silence them forever;
+        # both only make sense with the fault-tolerance machinery on,
+        # so those rules imply it.
+        fault_tolerance = bool(chaos is not None
+                               and (chaos.freezes or chaos.crashes))
         return Scenario(
             grammar_version=self.version, seed=seed, query=query,
             sequences=sequences, interactions=interactions,

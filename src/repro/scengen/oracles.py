@@ -31,7 +31,10 @@ class RunDigest:
     reorders arrival), ``trace_sha`` the full adaptivity-trace
     timeline in order, ``events`` the DES events scheduled.
     ``sink_rows``/``sink_discards`` read the root exchange channel's
-    counters (-1 when metrics were off for that run).
+    counters (-1 when metrics were off for that run).  ``failure``
+    names the typed failure cause when the query settled without a
+    result (crash scenarios past the recovery budget) — a *clean*
+    terminal outcome, distinct from the probe-level ``error``.
     """
 
     rows_sha: str
@@ -43,6 +46,7 @@ class RunDigest:
     oscillation: float
     sink_rows: int = -1
     sink_discards: int = -1
+    failure: str = ""
 
     def to_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -72,6 +76,11 @@ class ProbeOutcome:
     @property
     def has_chaos(self) -> bool:
         return self.scenario.get("chaos") is not None
+
+    @property
+    def has_crashes(self) -> bool:
+        chaos = self.scenario.get("chaos") or {}
+        return bool(chaos.get("crashes"))
 
     @property
     def adaptive(self) -> bool:
@@ -111,6 +120,10 @@ def check_determinism(outcome: ProbeOutcome) -> list[Violation]:
 def check_batch_identity(outcome: ProbeOutcome) -> list[Violation]:
     """``batch_size=1`` returns the same row multiset as ``bs=N``."""
     if outcome.main is None or outcome.unit_batch is None:
+        return []
+    if outcome.main.failure or outcome.unit_batch.failure:
+        # A typed failure has no row set to compare; availability and
+        # determinism still police these runs.
         return []
     if outcome.unit_batch.rows_sha != outcome.main.rows_sha:
         return [Violation(
@@ -157,6 +170,9 @@ def check_row_conservation(outcome: ProbeOutcome) -> list[Violation]:
     """
     if outcome.main is None or outcome.baseline is None:
         return []
+    if outcome.main.failure:
+        # No result to conserve; check_availability owns this case.
+        return []
     violations = []
     if outcome.main.rows_sha != outcome.baseline.rows_sha:
         violations.append(Violation(
@@ -202,6 +218,29 @@ def check_convergence(outcome: ProbeOutcome) -> list[Violation]:
     return violations
 
 
+def check_availability(outcome: ProbeOutcome) -> list[Violation]:
+    """Every admitted query terminates: full result or typed failure.
+
+    For crash scenarios the run must settle one way or the other —
+    a complete result (recovery succeeded, same cardinality as the
+    baseline) or a named typed failure.  A partial result means a
+    query neither recovered nor failed cleanly.
+    """
+    if outcome.main is None or outcome.baseline is None:
+        return []
+    if not outcome.has_crashes:
+        return []
+    main = outcome.main
+    if main.failure:
+        return []
+    if main.rows_count != outcome.baseline.rows_count:
+        return [Violation(
+            "availability",
+            f"crash run neither failed nor completed: {main.rows_count} "
+            f"rows vs baseline {outcome.baseline.rows_count}")]
+    return []
+
+
 #: Pluggable oracle registry: name -> ProbeOutcome -> [Violation].
 ORACLES: dict[str, typing.Callable[[ProbeOutcome], list]] = {
     "no-crash": check_no_crash,
@@ -210,6 +249,7 @@ ORACLES: dict[str, typing.Callable[[ProbeOutcome], list]] = {
     "zero-cost": check_zero_cost,
     "row-conservation": check_row_conservation,
     "convergence": check_convergence,
+    "availability": check_availability,
 }
 
 

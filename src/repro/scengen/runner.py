@@ -26,8 +26,9 @@ from __future__ import annotations
 import hashlib
 import traceback
 
-from repro.chaos import ChaosConfig, MachineFreeze
+from repro.chaos import ChaosConfig, MachineCrash, MachineFreeze
 from repro.config import AdaptivityConfig, EngineConfig, FaultToleranceConfig
+from repro.errors import QueryFailedError
 from repro.experiments.harness import collect_metrics
 from repro.scengen.grammar import PACING_PROFILES, Scenario
 from repro.scengen.oracles import ProbeOutcome, RunDigest, check_all
@@ -47,6 +48,12 @@ _QUERIES = {"Q1": Q1, "Q2": Q2}
 #: suspect/quarantine configuration).
 _FREEZE_FT = dict(enabled=True, heartbeat_interval_ms=200.0,
                   suspect_timeout_ms=500.0, failure_timeout_ms=5000.0)
+
+#: Crash scenarios detect fast and skip the suspect phase: heartbeats
+#: never resume from a permanent loss, so quarantine would only delay
+#: the rebuild.
+_CRASH_FT = dict(enabled=True, heartbeat_interval_ms=200.0,
+                 failure_timeout_ms=700.0)
 
 
 def grid_spec(scenario: Scenario) -> DemoGridSpec:
@@ -81,18 +88,25 @@ def chaos_config_for(scenario: Scenario) -> ChaosConfig | None:
         MachineFreeze(compute_machine_name(f.machine_index),
                       at_ms=f.at_ms, duration_ms=f.duration_ms)
         for f in rule.freezes)
+    crashes = tuple(
+        MachineCrash(compute_machine_name(c.machine_index),
+                     at_ms=c.at_ms)
+        for c in rule.crashes)
     return ChaosConfig.lossy(
         drop_probability=rule.drop,
         duplicate_probability=rule.duplicate,
         delay_probability=rule.delay,
         delay_ms=rule.delay_ms,
         ws_failure_probability=rule.ws_failure,
-        freezes=freezes)
+        freezes=freezes,
+        crashes=crashes)
 
 
 def fault_tolerance_for(scenario: Scenario) -> FaultToleranceConfig | None:
     if not scenario.fault_tolerance:
         return None
+    if scenario.chaos is not None and scenario.chaos.crashes:
+        return FaultToleranceConfig(**_CRASH_FT)
     return FaultToleranceConfig(**_FREEZE_FT)
 
 
@@ -165,12 +179,32 @@ def _run(scenario: Scenario, batch_size: int | None = None,
                     metrics_enabled=metrics_enabled,
                     chaos=chaos)
     apply_perturbations(grid, scenario)
-    result = grid.run(_QUERIES[scenario.query], adaptivity_for(scenario))
+    try:
+        result = grid.run(_QUERIES[scenario.query],
+                          adaptivity_for(scenario))
+    except QueryFailedError as exc:
+        # A typed failure is a clean terminal outcome, not a probe
+        # error: digest the failed run so determinism and availability
+        # oracles still apply to it.
+        return _failed_digest(grid, exc.failure)
     if report:
         collect_metrics(grid, experiment="fuzz",
                         scenario=scenario.scenario_id,
                         policy=scenario.policy, query=scenario.query)
     return _digest(grid, result)
+
+
+def _failed_digest(grid: DemoGrid, failure) -> RunDigest:
+    timeline = [(event.timestamp, event.category, event.source,
+                 event.description)
+                for event in grid.context.tracer.events]
+    trace_sha = hashlib.sha256(repr(timeline).encode()).hexdigest()[:16]
+    return RunDigest(
+        rows_sha="", rows_count=0, trace_sha=trace_sha,
+        response_ms=failure.elapsed_ms,
+        events=grid.context.env.events_scheduled,
+        adaptations=0, oscillation=0.0,
+        failure=failure.cause)
 
 
 def _baseline(scenario: Scenario) -> RunDigest:

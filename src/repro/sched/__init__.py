@@ -20,22 +20,30 @@ from repro.sched.driver import (
     percentile,
 )
 from repro.sched.fairshare import FairShare
+from repro.sched.health import MachineHealth
 from repro.sched.scheduler import QueryScheduler, SchedulerStatistics
 from repro.sched.session import (
     QuerySession,
     STATE_COMPLETED,
+    STATE_FAILED,
     STATE_QUEUED,
+    STATE_RETRYING,
     STATE_RUNNING,
+    TERMINAL_STATES,
 )
 
 __all__ = [
     "FairShare",
+    "MachineHealth",
     "QueryScheduler",
     "QuerySession",
     "SchedulerStatistics",
     "STATE_COMPLETED",
+    "STATE_FAILED",
     "STATE_QUEUED",
+    "STATE_RETRYING",
     "STATE_RUNNING",
+    "TERMINAL_STATES",
     "WorkloadDriver",
     "WorkloadReport",
     "WorkloadSpec",

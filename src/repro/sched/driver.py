@@ -64,6 +64,16 @@ class WorkloadReport:
     admitted: int
     rejected: int
     completed: int
+    #: Sessions that settled with a typed failure (includes timeouts).
+    failed: int
+    #: Retry dispatches performed across all sessions.
+    retried: int
+    #: Sessions aborted by the per-query deadline.
+    timed_out: int
+    #: Completed share of terminally-settled sessions.
+    availability: float
+    #: Simulated milliseconds burnt by attempts that did not complete.
+    wasted_work_ms: float
     #: Completions per simulated second over the whole run.
     throughput_qps: float
     queue_wait_p50_ms: float
@@ -123,6 +133,11 @@ class WorkloadDriver:
             admitted=stats.admitted,
             rejected=self.rejected,
             completed=stats.completed,
+            failed=stats.failed,
+            retried=stats.retried,
+            timed_out=stats.timed_out,
+            availability=stats.availability,
+            wasted_work_ms=stats.wasted_work_ms,
             throughput_qps=throughput,
             queue_wait_p50_ms=percentile(stats.queue_waits_ms, 0.50),
             queue_wait_p95_ms=percentile(stats.queue_waits_ms, 0.95),

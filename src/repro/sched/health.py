@@ -1,0 +1,116 @@
+"""Machine-health circuit breaker for multi-query placement.
+
+Tracks per-machine query failures and opens a breaker after
+``threshold`` failures inside a sliding ``window_ms``.  Placement
+steers away from open machines (they sort last in the scheduler's
+machine-order preference); after ``cooldown_ms`` the breaker
+half-opens and admits a single probe query — a probe success closes
+the breaker, a probe failure re-opens it for another cooldown.
+
+The breaker is deliberately *advisory*: it reorders the least-loaded
+placement preference rather than hard-excluding machines, so a pool
+where every machine has tripped still schedules work (degraded but
+live beats idle).  All bookkeeping is plain dictionary state — no
+simulator events are ever scheduled, so an always-on breaker is free
+when no failures occur and the no-chaos timeline stays bit-identical.
+"""
+
+from __future__ import annotations
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class MachineHealth:
+    """Sliding-window failure counter with open/half-open/closed states."""
+
+    def __init__(self, env, threshold: int, window_ms: float,
+                 cooldown_ms: float) -> None:
+        self.env = env
+        self.threshold = threshold
+        self.window_ms = window_ms
+        self.cooldown_ms = cooldown_ms
+        #: Recent failure timestamps per machine (pruned to the window).
+        self._failures: dict[str, list[float]] = {}
+        #: When each open breaker tripped (or re-tripped).
+        self._opened_at: dict[str, float] = {}
+        #: Probe queries placed on a half-open machine.
+        self._probes: dict[str, int] = {}
+        self.breakers_opened = 0
+        self.breakers_closed = 0
+
+    # -- state queries ---------------------------------------------------
+
+    def state(self, machine: str) -> str:
+        opened = self._opened_at.get(machine)
+        if opened is None:
+            return STATE_CLOSED
+        if self.env.now - opened >= self.cooldown_ms:
+            return STATE_HALF_OPEN
+        return STATE_OPEN
+
+    def is_open(self, machine: str) -> bool:
+        """True when placement should steer away from ``machine``.
+
+        A half-open machine admits exactly one probe: it reads as
+        healthy until a probe is placed, then open again until the
+        probe settles.
+        """
+        state = self.state(machine)
+        if state == STATE_CLOSED:
+            return False
+        if state == STATE_OPEN:
+            return True
+        return self._probes.get(machine, 0) > 0
+
+    def open_machines(self) -> tuple[str, ...]:
+        """Machines currently steering placement away, sorted."""
+        return tuple(sorted(name for name in self._opened_at
+                            if self.is_open(name)))
+
+    # -- event recording -------------------------------------------------
+
+    def note_placement(self, machines) -> None:
+        """Record that a query was placed on ``machines``.
+
+        Half-open machines count the placement as their probe.
+        """
+        for name in machines:
+            if self.state(name) == STATE_HALF_OPEN:
+                self._probes[name] = self._probes.get(name, 0) + 1
+
+    def record_failure(self, machine: str) -> None:
+        now = self.env.now
+        if machine in self._opened_at:
+            # Open or half-open: the failure (a probe, or a straggler
+            # from before the trip) restarts the cooldown.
+            self._opened_at[machine] = now
+            self._probes.pop(machine, None)
+            return
+        window = [stamp for stamp in self._failures.get(machine, ())
+                  if now - stamp < self.window_ms]
+        window.append(now)
+        if len(window) >= self.threshold:
+            self._failures.pop(machine, None)
+            self._opened_at[machine] = now
+            self.breakers_opened += 1
+        else:
+            self._failures[machine] = window
+
+    def record_success(self, machine: str) -> None:
+        """A query finished cleanly on ``machine``.
+
+        Only a half-open probe success closes the breaker; successes on
+        a closed machine clear nothing (the failure window expires on
+        its own) and successes on an open machine are stragglers from
+        before the trip.
+        """
+        if self.state(machine) != STATE_HALF_OPEN:
+            return
+        if self._probes.get(machine, 0) <= 0:
+            return
+        self._opened_at.pop(machine, None)
+        self._probes.pop(machine, None)
+        self._failures.pop(machine, None)
+        self.breakers_closed += 1

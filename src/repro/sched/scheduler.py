@@ -25,13 +25,23 @@ from __future__ import annotations
 import collections
 import dataclasses
 
+import typing
+
 from repro.config import SchedulerConfig
-from repro.dqp.gdqs import GDQS, QueryResult
-from repro.errors import AdmissionRejected
+from repro.dqp.gdqs import (
+    CAUSE_DEADLINE,
+    CAUSE_UNPLANNABLE,
+    GDQS,
+    QueryFailed,
+    QueryResult,
+)
+from repro.errors import AdmissionRejected, PlanningError
 from repro.sched.fairshare import FairShare
+from repro.sched.health import MachineHealth
 from repro.sched.session import (
     QuerySession,
     STATE_COMPLETED,
+    TERMINAL_STATES,
     require_done,
 )
 from repro.sim.events import Event
@@ -45,6 +55,14 @@ class SchedulerStatistics:
     admitted: int
     completed: int
     rejected: int
+    #: Sessions that ended with a typed failure (includes timeouts).
+    failed: int
+    #: Retry dispatches performed (attempts beyond each first one).
+    retried: int
+    #: Sessions aborted by the per-query deadline.
+    timed_out: int
+    #: Simulated milliseconds burnt by attempts that did not complete.
+    wasted_work_ms: float
     peak_queue_depth: int
     #: Per completed session, in completion order.
     queue_waits_ms: list
@@ -52,6 +70,12 @@ class SchedulerStatistics:
     response_ms: list
     #: Busy fraction per machine over the scheduler's lifetime.
     machine_utilisation: dict
+
+    @property
+    def availability(self) -> float:
+        """Completed share of terminally-settled sessions."""
+        terminal = self.completed + self.failed
+        return self.completed / terminal if terminal else 1.0
 
 
 class QueryScheduler:
@@ -70,11 +94,22 @@ class QueryScheduler:
                 self.context.registry,
                 session_weight=self.config.session_weight,
                 machine_capacity=self.config.machine_capacity)
+        self.health: MachineHealth | None = None
+        if self.config.breaker_threshold > 0:
+            # Pure bookkeeping (no simulator events): safe always-on.
+            self.health = MachineHealth(
+                self.env, threshold=self.config.breaker_threshold,
+                window_ms=self.config.breaker_window_ms,
+                cooldown_ms=self.config.breaker_cooldown_ms)
         self._queue: collections.deque[QuerySession] = collections.deque()
         self._running: dict[str, QuerySession] = {}
         #: Every admitted session, in submission order.
         self.sessions: list[QuerySession] = []
         self.rejected = 0
+        self.queries_failed = 0
+        self.queries_retried = 0
+        self.queries_timed_out = 0
+        self.wasted_work_ms = 0.0
         self.peak_queue_depth = 0
         self._session_counter = 0
         self._created_at = self.env.now
@@ -85,8 +120,13 @@ class QueryScheduler:
         self._metric_admitted = metrics.counter("sched_admitted")
         self._metric_rejected = metrics.counter("sched_rejected")
         self._metric_completed = metrics.counter("sched_completed")
+        self._metric_failed = metrics.counter("sched_failed")
+        self._metric_retried = metrics.counter("sched_retried")
+        self._metric_timed_out = metrics.counter("sched_timed_out")
         self._metric_queue_wait = metrics.histogram("sched_queue_wait_ms")
+        self._metric_mttr = metrics.histogram("sched_mttr_ms")
         self._metric_queue_depth = metrics.series("sched_queue_depth")
+        metrics.gauge("sched_availability", fn=self._availability)
         for machine in self.context.registry.machines():
             metrics.gauge("sched_capacity_pressure",
                           fn=machine.contention_factor,
@@ -121,6 +161,12 @@ class QueryScheduler:
             submitted_at=self.env.now)
         self.sessions.append(session)
         self._metric_admitted.inc()
+        if self.config.resilient:
+            # Resilient sessions get a dedicated completion event up
+            # front: the underlying handle's event settles per *attempt*
+            # (a retried failure must not wake the submitter), so the
+            # session-level event is the only one that means "terminal".
+            session.done = self.env.event()
         if len(self._running) < self.config.max_concurrent:
             self._start(session)
         else:
@@ -136,38 +182,96 @@ class QueryScheduler:
                 session=session.session_id, depth=len(self._queue))
         return session
 
+    def _availability(self) -> float:
+        completed = sum(1 for session in self.sessions
+                        if session.state == STATE_COMPLETED)
+        terminal = completed + self.queries_failed
+        return completed / terminal if terminal else 1.0
+
     def _machine_order(self) -> list[str] | None:
         if self.fair_share is None or not self.config.load_aware_placement:
             return None
-        return self.fair_share.least_loaded_order(
-            self.context.registry.compute_machines())
+        registry = self.context.registry
+        pool = [name for name in registry.compute_machines()
+                if not registry.machine(name).is_crashed]
+        order = self.fair_share.least_loaded_order(pool)
+        if self.health is not None:
+            # Stable partition: breaker-open machines sort last, the
+            # least-loaded order is preserved inside each partition.
+            # With no failures recorded this is the identity, so the
+            # no-chaos event timeline is untouched.
+            healthy = [name for name in order
+                       if not self.health.is_open(name)]
+            tripped = [name for name in order if self.health.is_open(name)]
+            order = healthy + tripped
+        return order
 
     def _start(self, session: QuerySession) -> None:
-        handle = self.gdqs.submit(session.query_text,
-                                  adaptivity=session.adaptivity,
-                                  degree=session.degree,
-                                  machine_order=self._machine_order())
+        exclude = (session.blacklist,) if session.blacklist else ()
+        try:
+            handle = self.gdqs.submit(session.query_text,
+                                      adaptivity=session.adaptivity,
+                                      degree=session.degree,
+                                      machine_order=self._machine_order(),
+                                      exclude_machines=exclude)
+        except PlanningError:
+            # The surviving grid cannot place this plan (crashed
+            # machines shrank the pool below the requested degree):
+            # settle the session with a typed failure instead of
+            # letting the exception unwind whoever dispatched it.
+            self._fail_unplannable(session)
+            return
+        first_attempt = session.attempts == 0
         session.mark_started(handle, self.env.now)
-        self._metric_queue_wait.observe(session.queue_wait_ms)
+        if first_attempt:
+            self._metric_queue_wait.observe(session.queue_wait_ms)
         self._running[session.session_id] = session
         if self.fair_share is not None:
             # Shares are charged in the same simulated instant as the
             # deployment, so a second submission at the same time
             # already sees this session's residency when placing.
             self.fair_share.admit(session)
+        if self.health is not None:
+            self.health.note_placement(session.machines)
         if session.done is None:
             session.done = handle.done
         handle.done.callbacks.append(
             lambda event, s=session: self._on_complete(s, event))
+        if self.config.query_timeout_ms is not None:
+            self.env.process(
+                self._watch_deadline(handle),
+                name=f"sched:deadline:{session.session_id}"
+                     f":a{session.attempts}")
         self.context.tracer.record(
             CATEGORY_SCHEDULER, self.name, "query started",
             session=session.session_id, query_id=handle.query_id,
             queue_wait_ms=round(session.queue_wait_ms, 1),
             machines=session.machines)
 
+    def _watch_deadline(self, handle) -> typing.Generator:
+        """Abort ``handle`` if it outlives the per-attempt deadline.
+
+        The timer fires once per attempt; on a handle that already
+        settled (success or failure) the expiry is a harmless no-op.
+        """
+        yield self.env.timeout(self.config.query_timeout_ms)
+        if not handle.done.triggered:
+            self.gdqs.abort(handle, CAUSE_DEADLINE)
+
     def _on_complete(self, session: QuerySession, event: Event) -> None:
+        if event.ok and getattr(event.value, "failed", False):
+            self._on_failure(session, event.value, event)
+            return
         session.mark_completed(self.env.now)
         self._metric_completed.inc()
+        if self.health is not None:
+            for machine in session.machines:
+                self.health.record_success(machine)
+            if session.first_failed_at is not None:
+                # Time from first failure to eventual success: the
+                # scheduler-level mean-time-to-repair contribution.
+                self._metric_mttr.observe(
+                    self.env.now - session.first_failed_at)
         if self.fair_share is not None:
             self.fair_share.release(session)
         del self._running[session.session_id]
@@ -192,6 +296,94 @@ class QueryScheduler:
             else:
                 session.done.fail(event.value)
 
+    # -- failure handling ------------------------------------------------
+
+    def _fail_unplannable(self, session: QuerySession) -> None:
+        failure = QueryFailed(
+            query_id=session.session_id, cause=CAUSE_UNPLANNABLE,
+            failed_machine=None,
+            elapsed_ms=self.env.now - session.submitted_at,
+            recoveries=0)
+        session.mark_failed(self.env.now, failure)
+        self.queries_failed += 1
+        self._metric_failed.inc()
+        self.context.tracer.record(
+            CATEGORY_SCHEDULER, self.name, "query failed",
+            session=session.session_id, cause=failure.cause,
+            failed_machine="", attempts=session.attempts)
+        if session.done is None:
+            session.done = self.env.event()
+        session.done.succeed(failure)
+
+    def _should_retry(self, session: QuerySession,
+                      failure: QueryFailed) -> bool:
+        retry = self.config.retry
+        if retry is None:
+            return False
+        if failure.cause == CAUSE_DEADLINE:
+            # A deadline abort is terminal by design: the attempt
+            # already consumed the submitter's whole time budget, so
+            # re-running it cannot meet any useful latency target.
+            return False
+        return session.attempts < retry.max_attempts
+
+    def _on_failure(self, session: QuerySession, failure: QueryFailed,
+                    event: Event) -> None:
+        self.wasted_work_ms += failure.elapsed_ms
+        if self.health is not None and failure.failed_machine:
+            self.health.record_failure(failure.failed_machine)
+        if self.fair_share is not None:
+            self.fair_share.release(session)
+        del self._running[session.session_id]
+        if self._should_retry(session, failure):
+            session.mark_retrying(self.env.now, failure)
+            self.queries_retried += 1
+            self._metric_retried.inc()
+            backoff = self.config.retry.backoff_ms(session.attempts)
+            self.context.tracer.record(
+                CATEGORY_SCHEDULER, self.name, "query retrying",
+                session=session.session_id, cause=failure.cause,
+                failed_machine=failure.failed_machine or "",
+                attempt=session.attempts, backoff_ms=round(backoff, 1))
+            self.env.process(
+                self._retry_later(session, backoff),
+                name=f"sched:retry:{session.session_id}"
+                     f":a{session.attempts}")
+        else:
+            session.mark_failed(self.env.now, failure)
+            self.queries_failed += 1
+            self._metric_failed.inc()
+            if failure.cause == CAUSE_DEADLINE:
+                self.queries_timed_out += 1
+                self._metric_timed_out.inc()
+            self.context.tracer.record(
+                CATEGORY_SCHEDULER, self.name, "query failed",
+                session=session.session_id, cause=failure.cause,
+                failed_machine=failure.failed_machine or "",
+                attempts=session.attempts)
+        dispatched = False
+        while (self._queue
+               and len(self._running) < self.config.max_concurrent):
+            self._start(self._queue.popleft())
+            dispatched = True
+        if dispatched:
+            self._metric_queue_depth.sample(len(self._queue))
+        if session.state in TERMINAL_STATES and session.done is not event:
+            session.done.succeed(failure)
+
+    def _retry_later(self, session: QuerySession,
+                     backoff_ms: float) -> typing.Generator:
+        yield self.env.timeout(backoff_ms)
+        if len(self._running) < self.config.max_concurrent:
+            self._start(session)
+        else:
+            # All slots refilled during the backoff: rejoin at the
+            # front of the queue (the retry has waited longest).
+            self._queue.appendleft(session)
+            self.peak_queue_depth = max(self.peak_queue_depth,
+                                        len(self._queue))
+            self._metric_queue_depth.sample(len(self._queue))
+
     # -- draining and statistics -----------------------------------------
 
     @property
@@ -202,20 +394,23 @@ class QueryScheduler:
     def queued_count(self) -> int:
         return len(self._queue)
 
-    def drain(self) -> list[QueryResult]:
-        """Run the simulation until every admitted session completes.
+    def drain(self) -> list[QueryResult | QueryFailed]:
+        """Run the simulation until every admitted session settles.
 
-        Returns the results in submission order, then drains teardown
-        traffic so the grid is quiet.
+        Every admitted session reaches a terminal state — completed or
+        failed — so the returned list (submission order) holds one
+        outcome per session: a :class:`QueryResult` or a typed
+        :class:`QueryFailed`, never a hole.  Teardown traffic is then
+        drained so the grid is quiet.
         """
         while True:
             pending = [session for session in self.sessions
-                       if session.state != STATE_COMPLETED]
+                       if session.state not in TERMINAL_STATES]
             if not pending:
                 break
             self.env.run(until=require_done(pending[0]))
         self.env.run()
-        return [session.result for session in self.sessions]
+        return [session.outcome for session in self.sessions]
 
     def statistics(self) -> SchedulerStatistics:
         """Aggregate admission and utilisation telemetry."""
@@ -233,6 +428,10 @@ class QueryScheduler:
             admitted=len(self.sessions),
             completed=len(completed),
             rejected=self.rejected,
+            failed=self.queries_failed,
+            retried=self.queries_retried,
+            timed_out=self.queries_timed_out,
+            wasted_work_ms=self.wasted_work_ms,
             peak_queue_depth=self.peak_queue_depth,
             queue_waits_ms=[session.queue_wait_ms
                             for session in completed],

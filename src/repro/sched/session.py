@@ -10,13 +10,18 @@ queue wait from execution, and — once dispatched — the underlying
 from __future__ import annotations
 
 from repro.config import AdaptivityConfig
-from repro.dqp.gdqs import QueryHandle, QueryResult
+from repro.dqp.gdqs import QueryFailed, QueryHandle, QueryResult
 from repro.errors import SchedulerError
 from repro.sim.events import Event
 
 STATE_QUEUED = "queued"
 STATE_RUNNING = "running"
 STATE_COMPLETED = "completed"
+STATE_RETRYING = "retrying"
+STATE_FAILED = "failed"
+
+#: States from which a session never moves again.
+TERMINAL_STATES = frozenset({STATE_COMPLETED, STATE_FAILED})
 
 
 class QuerySession:
@@ -46,15 +51,27 @@ class QuerySession:
         self.done: Event | None = None
         #: Machines this session's subplans occupy (set at dispatch).
         self.machines: tuple[str, ...] = ()
+        #: Dispatch attempts so far (1 after the first ``mark_started``).
+        self.attempts = 0
+        #: Terminal failure outcome, set by ``mark_failed``.
+        self.failure: QueryFailed | None = None
+        #: When the first attempt failed (drives the MTTR metric).
+        self.first_failed_at: float | None = None
+        #: Machine that sank the previous attempt: excluded on retry.
+        self.blacklist: str | None = None
 
     # -- lifecycle -------------------------------------------------------
 
     def mark_started(self, handle: QueryHandle, now: float) -> None:
-        if self.state != STATE_QUEUED:
+        if self.state not in (STATE_QUEUED, STATE_RETRYING):
             raise SchedulerError(
                 f"{self.session_id}: started twice (state {self.state})")
         self.state = STATE_RUNNING
-        self.started_at = now
+        if self.started_at is None:
+            # Queue wait measures time to *first* dispatch; retries
+            # account their delay as execution, not queueing.
+            self.started_at = now
+        self.attempts += 1
         self.handle = handle
         self.machines = tuple(handle.runtime.plan.machines_used())
         # Queue wait becomes visible on the handle too (satellite:
@@ -68,11 +85,38 @@ class QuerySession:
         self.state = STATE_COMPLETED
         self.completed_at = now
 
+    def mark_retrying(self, now: float, failure: QueryFailed) -> None:
+        if self.state != STATE_RUNNING:
+            raise SchedulerError(
+                f"{self.session_id}: retried while {self.state}")
+        self.state = STATE_RETRYING
+        if self.first_failed_at is None:
+            self.first_failed_at = now
+        self.blacklist = failure.failed_machine
+
+    def mark_failed(self, now: float, failure: QueryFailed) -> None:
+        # QUEUED and RETRYING are legal here too: a session can fail
+        # before deployment when the surviving grid cannot place its
+        # plan (every candidate machine crashed).
+        if self.state in TERMINAL_STATES:
+            raise SchedulerError(
+                f"{self.session_id}: failed while {self.state}")
+        self.state = STATE_FAILED
+        self.completed_at = now
+        self.failure = failure
+
     # -- derived metrics -------------------------------------------------
 
     @property
     def result(self) -> QueryResult | None:
         return self.handle.result if self.handle is not None else None
+
+    @property
+    def outcome(self) -> QueryResult | QueryFailed | None:
+        """The terminal outcome: a result, a typed failure, or None."""
+        if self.state == STATE_FAILED:
+            return self.failure
+        return self.result
 
     @property
     def queue_wait_ms(self) -> float | None:

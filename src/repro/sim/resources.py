@@ -63,6 +63,7 @@ class Cpu:
         self._current: CpuTask | None = None
         self._current_duration = 0.0
         self._frozen_until = 0.0
+        self._closed = False
         self.busy_time = 0.0
         self.tasks_completed = 0
         #: Optional telemetry hook: an object with ``sample(value)``
@@ -91,7 +92,7 @@ class Cpu:
         self._pending.append(task)
         if self.queue_sampler is not None:
             self.queue_sampler.sample(self.queue_length)
-        if not self._serving:
+        if not self._serving and not self._closed:
             # Claim the server slot synchronously: the server only
             # starts on the next kernel step, and a second execute()
             # call in the meantime must not wake it twice.
@@ -108,6 +109,24 @@ class Cpu:
         freeze expires — a transient stall, not a crash.
         """
         self._frozen_until = max(self._frozen_until, until)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Permanently close the server gate (machine crash).
+
+        Queued and future tasks never start service and their events
+        never fire, so processes waiting on them suspend harmlessly —
+        crucially *without* scheduling anything, which keeps
+        ``env.run()`` terminating (an infinite ``freeze_until`` would
+        park the server behind an unbounded timeout event instead).
+        The task already in service completes: its timeout is on the
+        heap and fail-stop is modelled at the service layer, where the
+        host's endpoints are already deactivated.
+        """
+        self._closed = True
 
     def _on_wake(self, _event: Event) -> None:
         """Burst start: the wake event scheduled by :meth:`execute` fired."""
@@ -159,6 +178,10 @@ class Cpu:
         env = self.env
         pending = self._pending
         while True:
+            if self._closed:
+                # Crashed: park forever without scheduling.  _serving
+                # stays True so no wake event is ever created again.
+                return
             if not pending:
                 self._serving = False
                 env._seq += 1

@@ -8,6 +8,7 @@ from repro.chaos import (
     ChaosConfig,
     FaultSchedule,
     LinkFault,
+    MachineCrash,
     MachineFreeze,
     RetryPolicy,
     ServiceFault,
@@ -68,6 +69,26 @@ class TestMachineFreeze:
     def test_duration_must_be_positive(self):
         with pytest.raises(ConfigurationError):
             MachineFreeze("m1", at_ms=0.0, duration_ms=0.0)
+
+
+class TestMachineCrash:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineCrash("m1", at_ms=-1.0)
+
+    def test_crash_at_time_zero_is_legal(self):
+        assert MachineCrash("m1", at_ms=0.0).at_ms == 0.0
+
+    def test_crashes_make_a_schedule_non_empty(self):
+        schedule = FaultSchedule(crashes=(MachineCrash("m1", at_ms=5.0),))
+        assert not schedule.is_empty
+
+    def test_lossy_accepts_crashes(self):
+        config = ChaosConfig.lossy(
+            crashes=(MachineCrash("m1", at_ms=1.0),))
+        assert config.enabled
+        (crash,) = config.schedule.crashes
+        assert crash.machine == "m1"
 
 
 class TestServiceFault:

@@ -1,7 +1,8 @@
 """Behavioural tests for fault injection and the defensive layers."""
 
-from repro.chaos import ChaosConfig, ChaosInjector, FaultSchedule, LinkFault
-from repro.config import AdaptivityConfig
+from repro.chaos import (ChaosConfig, ChaosInjector, FaultSchedule,
+                         LinkFault, MachineCrash)
+from repro.config import AdaptivityConfig, FaultToleranceConfig
 from repro.grid import GridContext
 from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
 
@@ -67,6 +68,41 @@ class TestMachineFreeze:
         assert machine.freeze(80.0) == 80.0  # longer overlap extends
         context.env.run(until=100.0)
         assert not machine.is_frozen
+
+
+class TestMachineCrashInjection:
+    def test_crash_fail_stops_machine_and_closes_cpu(self):
+        context = GridContext(seed=0)
+        context.add_machine("m1")
+        config = ChaosConfig(enabled=True, schedule=FaultSchedule(
+            crashes=(MachineCrash("m1", at_ms=50.0),)))
+        injector = ChaosInjector(config, context)
+        injector.start()
+        context.env.run(until=100.0)
+        machine = context.registry.machine("m1")
+        assert machine.is_crashed
+        assert machine.crashed_at == 50.0
+        assert machine.cpu.closed
+        assert injector.machines_crashed == 1
+        assert injector.counters()["machines_crashed"] == 1
+
+    def test_crashed_machine_is_replaced_mid_query(self):
+        spec = DemoGridSpec(sequences_cardinality=120,
+                            interactions_cardinality=150,
+                            sequence_length=16, spare_machines=1)
+        chaos = ChaosConfig.lossy(
+            crashes=(MachineCrash("compute-2", at_ms=600.0),))
+        ft = FaultToleranceConfig(enabled=True,
+                                  heartbeat_interval_ms=200.0,
+                                  failure_timeout_ms=700.0)
+        grid = DemoGrid(spec, fault_tolerance=ft, chaos=chaos)
+        result = grid.run(Q2, AdaptivityConfig.disabled())
+        # Unlike a freeze, the loss is permanent: the machine stays
+        # crashed and its evaluators were rebuilt elsewhere.
+        assert result.stats.result_count == 150
+        assert result.stats.machines_recovered == 1
+        assert grid.context.registry.machine("compute-2").is_crashed
+        assert grid.chaos.counters()["machines_crashed"] == 1
 
 
 class TestEndToEndResilience:

@@ -13,7 +13,7 @@ import math
 import pytest
 
 from repro.config import AdaptivityConfig, FaultToleranceConfig, RESPONSE_R1
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServiceError
 from repro.services.ws import shannon_entropy
 from repro.workloads import (
     DemoGrid,
@@ -216,6 +216,41 @@ class TestRecovery:
         # No feed producer is left mid-move.
         for _endpoint, producer in handle.runtime.feed_producers:
             assert not producer.moving
+
+    def test_suspect_quarantine_survives_failed_recovery(self, monkeypatch):
+        """Regression: when a recovery attempt aborted with a
+        ``ServiceError``, the retry path dropped the quarantined clone
+        indices recorded during the suspect phase; the eventual
+        successful recovery then left the rebuilt clones parked at
+        weight zero.  The suspect bookkeeping must survive the retry
+        so the post-recovery reintegration finds them."""
+        ft = FaultToleranceConfig(enabled=True,
+                                  heartbeat_interval_ms=200.0,
+                                  suspect_timeout_ms=400.0,
+                                  failure_timeout_ms=1000.0)
+        grid = DemoGrid(SPEC, fault_tolerance=ft)
+        grid.fail_machine_at("compute-2", at_ms=900.0)
+        gdqs = grid.processor.gdqs
+        real = gdqs._recover
+        attempts = []
+
+        def flaky(runtime, gqes):
+            attempts.append(gqes.name)
+            if len(attempts) == 1:
+                raise ServiceError("injected: control peer unreachable")
+            return (yield from real(runtime, gqes))
+
+        monkeypatch.setattr(gdqs, "_recover", flaky)
+        result = grid.run(Q1, AdaptivityConfig())
+        assert len(attempts) >= 2  # first attempt failed, then retried
+        assert close_lists(sorted(v[0] for v in result.values()),
+                           q1_reference(grid))
+        assert result.stats.machines_recovered == 1
+        # The silence window crossed suspect before failure: the
+        # clones were quarantined, and — the regression — reintegrated
+        # again once the retried recovery rebuilt them.
+        assert result.stats.clones_quarantined >= 1
+        assert result.stats.clones_reintegrated >= 1
 
     def test_response_time_reflects_recovery_cost(self):
         grid_ok = DemoGrid(SPEC, fault_tolerance=FT)

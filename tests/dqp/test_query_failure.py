@@ -1,0 +1,83 @@
+"""Typed query failures: irrecoverable crashes end cleanly, not loudly.
+
+A permanently crashed machine whose state cannot be rebuilt (the data
+host, or a compute machine once the recovery budget is spent) must
+fail the query with a :class:`~repro.dqp.gdqs.QueryFailed` outcome —
+delivered as the *value* of a succeeded ``handle.done`` event, so no
+waiter ever sees an unhandled exception — and the simulation must
+drain to quiescence afterwards.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import ChaosConfig, MachineCrash
+from repro.config import AdaptivityConfig, FaultToleranceConfig
+from repro.dqp.gdqs import (
+    CAUSE_BUDGET,
+    CAUSE_UNRECOVERABLE,
+    QueryFailed,
+)
+from repro.errors import QueryFailedError
+from repro.workloads import DATA_HOST, DemoGrid, DemoGridSpec, Q2
+
+SPEC = DemoGridSpec(sequences_cardinality=120,
+                    interactions_cardinality=150,
+                    sequence_length=16, spare_machines=1)
+FT = FaultToleranceConfig(enabled=True, heartbeat_interval_ms=200.0,
+                          failure_timeout_ms=700.0)
+
+
+def crash(machine, at_ms=600.0):
+    return ChaosConfig.lossy(crashes=(MachineCrash(machine, at_ms=at_ms),))
+
+
+class TestUnrecoverableCrash:
+    def test_data_host_crash_fails_query_with_typed_cause(self):
+        grid = DemoGrid(SPEC, fault_tolerance=FT, chaos=crash(DATA_HOST))
+        with pytest.raises(QueryFailedError) as info:
+            grid.run(Q2, AdaptivityConfig.disabled())
+        failure = info.value.failure
+        assert failure.failed
+        assert failure.cause == CAUSE_UNRECOVERABLE
+        assert failure.failed_machine == DATA_HOST
+        assert failure.elapsed_ms > 0.0
+        # The failure is terminal accounting, not an error escape.
+        assert grid.processor.gdqs.queries_failed == 1
+
+    def test_handle_done_succeeds_with_failure_value(self):
+        grid = DemoGrid(SPEC, fault_tolerance=FT, chaos=crash(DATA_HOST))
+        handle = grid.processor.gdqs.submit(Q2,
+                                            AdaptivityConfig.disabled())
+        env = grid.context.env
+        env.run(until=handle.done)
+        # The event *succeeded*: waiters resume normally and find the
+        # typed failure as the value, never an exception.
+        assert handle.done.ok
+        assert isinstance(handle.done.value, QueryFailed)
+        assert handle.failure is handle.done.value
+        assert handle.completed_at is not None
+        # The simulation drains cleanly: no orphaned process throws.
+        env.run()
+
+
+class TestRecoveryBudget:
+    def test_zero_budget_turns_first_loss_into_failure(self):
+        ft = dataclasses.replace(FT, max_recoveries=0)
+        grid = DemoGrid(SPEC, fault_tolerance=ft,
+                        chaos=crash("compute-2"))
+        with pytest.raises(QueryFailedError) as info:
+            grid.run(Q2, AdaptivityConfig.disabled())
+        failure = info.value.failure
+        assert failure.cause == CAUSE_BUDGET
+        assert failure.failed_machine == "compute-2"
+        assert failure.recoveries == 0
+
+    def test_budget_of_one_still_recovers_a_single_loss(self):
+        ft = dataclasses.replace(FT, max_recoveries=1)
+        grid = DemoGrid(SPEC, fault_tolerance=ft,
+                        chaos=crash("compute-2"))
+        result = grid.run(Q2, AdaptivityConfig.disabled())
+        assert result.stats.result_count == 150
+        assert result.stats.machines_recovered == 1

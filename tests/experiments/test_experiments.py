@@ -66,7 +66,7 @@ class TestRegistryAndReport:
         assert set(EXPERIMENTS) == {
             "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5",
             "overheads", "monitoring", "recovery", "multiquery", "chaos",
-            "tournament", "tournament-smoke"}
+            "resilience", "tournament", "tournament-smoke"}
 
     def test_render_produces_aligned_table(self):
         report = ExperimentReport(

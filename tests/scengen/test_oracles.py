@@ -39,7 +39,7 @@ class TestCleanOutcome:
     def test_registry_names(self):
         assert set(default_oracles()) == {
             "no-crash", "determinism", "batch-identity", "zero-cost",
-            "row-conservation", "convergence"}
+            "row-conservation", "convergence", "availability"}
 
 
 class TestNoCrash:
