@@ -16,6 +16,17 @@ concurrency limit from 1 strictly reduces p95 queue wait at the
 heaviest offered load (sessions start instead of waiting, even though
 they then contend for shared CPU).
 
+The **fleet section** scales the same driver to lazily-instantiated
+multi-site grids — 100 and 1,000 compute machines, ten thousand
+admitted queries each — and checks the fleet-scale contract: every
+admitted query reaches a terminal outcome, the *host* cost per query
+stays near-flat as the fleet grows 10x (no per-event code path walks
+the fleet), only the placed slice of the fleet is ever materialized,
+and the adaptivity loop still converges on a perturbed machine at
+1,000-machine scale.  ``deltas_vs_previous`` records per-run
+wall-clock movement against the report the run replaces (the
+``BENCH_perf.json`` convention).
+
 Run directly (``python benchmarks/bench_multiquery.py``) or via
 pytest (``pytest benchmarks/bench_multiquery.py``).
 """
@@ -31,7 +42,13 @@ import pytest
 from repro.config import AdaptivityConfig, SchedulerConfig
 from repro.errors import AdmissionRejected
 from repro.sched import WorkloadDriver, WorkloadSpec
-from repro.workloads import DemoGrid, DemoGridSpec, Q1, Q2
+from repro.workloads import (
+    DemoGrid,
+    DemoGridSpec,
+    Q1,
+    Q2,
+    perturb_ws_cost,
+)
 
 CONCURRENCY_LIMITS = (1, 4, 16)
 ARRIVAL_RATES_QPS = (0.2, 0.5, 1.0)
@@ -43,6 +60,23 @@ GRID_SPEC = DemoGridSpec(sequences_cardinality=120,
                          interactions_cardinality=180,
                          sequence_length=20,
                          compute_machines=2)
+
+#: Fleet shapes swept by the fleet section: (compute machines, sites).
+FLEET_SHAPES = ((100, 10), (1000, 32))
+FLEET_RATE_QPS = 50.0
+FLEET_DURATION_MS = 200_000.0
+FLEET_CONCURRENT = 64
+FLEET_CANDIDATES = 16
+FLEET_DEGREE = 2
+#: Host cost per admitted query may at most double across the 10x
+#: fleet growth (the near-linear acceptance bound).
+FLEET_HOST_COST_RATIO_BOUND = 2.0
+
+#: Tiny relations: the fleet runs measure scheduler overhead, not
+#: query execution, so each of the ~10k queries must be cheap.
+FLEET_GRID = DemoGridSpec(sequences_cardinality=30,
+                          interactions_cardinality=45,
+                          sequence_length=8)
 
 OUTPUT_PATH = (pathlib.Path(__file__).resolve().parent.parent
                / "BENCH_multiquery.json")
@@ -89,8 +123,134 @@ def measure(max_concurrent: int, arrival_rate_qps: float):
     }
 
 
-def run_benchmark():
+def measure_fleet(machines: int, sites: int,
+                  rate_qps: float = FLEET_RATE_QPS,
+                  duration_ms: float = FLEET_DURATION_MS):
+    """One fleet-shape workload run; returns the measured row.
+
+    Metrics are off (per-event cost only) and the admission queue is
+    effectively unbounded so every offered query is admitted — the row
+    then shows total terminal accounting over the full offered load.
+    """
+    import dataclasses
+
+    spec = dataclasses.replace(FLEET_GRID, compute_machines=machines,
+                               sites=sites, lazy_machines=True)
+    grid = DemoGrid(spec, metrics_enabled=False)
+    scheduler = grid.scheduler(SchedulerConfig(
+        max_concurrent=FLEET_CONCURRENT, max_queued=1_000_000,
+        placement_candidates=FLEET_CANDIDATES))
+    driver = WorkloadDriver(scheduler, WorkloadSpec(
+        arrival_rate_qps=rate_qps, duration_ms=duration_ms,
+        catalog=(Q1, Q2), adaptivity=AdaptivityConfig.disabled(),
+        degree=FLEET_DEGREE))
+    started = time.perf_counter()
+    report = driver.run()
+    wall_clock_s = time.perf_counter() - started
+    registry = grid.context.registry
+    materialized = sum(1 for name in grid.compute_machines
+                      if registry.is_materialized(name))
+    return {
+        "machines": machines,
+        "sites": sites,
+        "arrival_rate_qps": rate_qps,
+        "duration_ms": duration_ms,
+        "wall_clock_s": round(wall_clock_s, 4),
+        "offered": report.offered,
+        "admitted": report.admitted,
+        "rejected": report.rejected,
+        "completed": report.completed,
+        "failed": report.failed,
+        "host_ms_per_query": round(
+            1000.0 * wall_clock_s / max(1, report.admitted), 4),
+        "throughput_qps": round(report.throughput_qps, 4),
+        "makespan_ms": round(report.makespan_ms, 1),
+        "machines_materialized": materialized,
+    }
+
+
+def measure_fleet_convergence(machines: int = 1000, sites: int = 32):
+    """Adaptivity still converges on a perturbed machine at scale.
+
+    One adaptive Q1 on the full fleet grid with a 10x WS-cost
+    perturbation on the first placed machine: the monitoring loop must
+    notice, rebalance away from it (R1, the retrospective response, so
+    queued work moves), and finish with the perturbed machine carrying
+    the minority of the tuples.  The demo-scale relations (not the
+    fleet section's tiny ones) give the loop time to act.
+    """
+    import dataclasses
+
+    spec = dataclasses.replace(GRID_SPEC, compute_machines=machines,
+                               sites=sites, lazy_machines=True)
+    grid = DemoGrid(spec, metrics_enabled=False)
+    perturb_ws_cost(grid, 10.0)
+    result = grid.run(Q1, AdaptivityConfig(response="R1",
+                                           decision_latency_ms=100.0),
+                      degree=FLEET_DEGREE)
+    counts = result.stats.tuples_per_consumer
+    return {
+        "machines": machines,
+        "sites": sites,
+        "adaptations_accepted": result.stats.adaptations_accepted,
+        "tuples_per_consumer": list(counts),
+        "perturbed_machine_share": round(
+            counts[0] / max(1, sum(counts)), 4),
+        "converged": (result.stats.adaptations_accepted >= 1
+                      and counts[0] < max(counts[1:], default=0)),
+    }
+
+
+def fleet_deltas(previous, fleet_runs):
+    """Wall-clock movement per fleet shape vs the report replaced."""
+    prior = {run["machines"]: run
+             for run in (previous or {}).get("fleet", {}).get("runs", [])}
+    deltas = {}
+    for run in fleet_runs:
+        before = prior.get(run["machines"])
+        if before is None:
+            continue
+        delta_s = run["wall_clock_s"] - before["wall_clock_s"]
+        deltas[str(run["machines"])] = {
+            "wall_clock_delta_s": round(delta_s, 4),
+            "wall_clock_delta_pct": round(
+                100.0 * delta_s / before["wall_clock_s"], 1)
+            if before["wall_clock_s"] else 0.0,
+        }
+    return deltas
+
+
+def run_deltas(previous, runs):
+    """Per-run wall-clock movement keyed ``conc@rate`` (perf shape)."""
+    prior = {(run["max_concurrent"], run["arrival_rate_qps"]): run
+             for run in (previous or {}).get("runs", [])}
+    deltas = {}
+    for run in runs:
+        before = prior.get((run["max_concurrent"],
+                            run["arrival_rate_qps"]))
+        if before is None or not before["wall_clock_s"]:
+            continue
+        delta_s = run["wall_clock_s"] - before["wall_clock_s"]
+        deltas[f"{run['max_concurrent']}@{run['arrival_rate_qps']}"] = {
+            "wall_clock_delta_s": round(delta_s, 4),
+            "wall_clock_delta_pct": round(
+                100.0 * delta_s / before["wall_clock_s"], 1),
+        }
+    return deltas
+
+
+def load_previous():
+    if not OUTPUT_PATH.exists():
+        return None
+    try:
+        return json.loads(OUTPUT_PATH.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def run_benchmark(fleet: bool = True):
     """Sweep every concurrency limit across every offered load."""
+    previous = load_previous()
     report = {
         "concurrency_limits": list(CONCURRENCY_LIMITS),
         "arrival_rates_qps": list(ARRIVAL_RATES_QPS),
@@ -99,6 +259,26 @@ def run_benchmark():
         "runs": [measure(max_concurrent, rate)
                  for max_concurrent in CONCURRENCY_LIMITS
                  for rate in ARRIVAL_RATES_QPS],
+    }
+    if fleet:
+        fleet_runs = [measure_fleet(machines, sites)
+                      for machines, sites in FLEET_SHAPES]
+        report["fleet"] = {
+            "shapes": [list(shape) for shape in FLEET_SHAPES],
+            "max_concurrent": FLEET_CONCURRENT,
+            "placement_candidates": FLEET_CANDIDATES,
+            "degree": FLEET_DEGREE,
+            "runs": fleet_runs,
+            "host_cost_ratio_bound": FLEET_HOST_COST_RATIO_BOUND,
+            "host_cost_ratio": round(
+                fleet_runs[-1]["host_ms_per_query"]
+                / fleet_runs[0]["host_ms_per_query"], 3),
+            "convergence": measure_fleet_convergence(),
+        }
+    report["deltas_vs_previous"] = {
+        "runs": run_deltas(previous, report["runs"]),
+        "fleet": fleet_deltas(previous, report.get("fleet", {})
+                              .get("runs", [])),
     }
     return report
 
@@ -126,8 +306,9 @@ def test_rejections_once_queue_full():
 
 
 def test_concurrency_shrinks_queue_wait():
-    report = run_benchmark()
-    write_report(report)
+    # No fleet sweep and no report write here: the full artifact
+    # (including the ~10k-query fleet section) comes from ``main()``.
+    report = run_benchmark(fleet=False)
 
     by_key = {(run["max_concurrent"], run["arrival_rate_qps"]): run
               for run in report["runs"]}
@@ -144,6 +325,22 @@ def test_concurrency_shrinks_queue_wait():
     for run in report["runs"]:
         assert run["completed"] == run["admitted"]
         assert run["offered"] == run["admitted"] + run["rejected"]
+
+
+def test_fleet_run_scaled_down():
+    """A miniature fleet run upholds the full-scale contract."""
+    small = measure_fleet(50, 5, rate_qps=20.0, duration_ms=5000.0)
+    large = measure_fleet(500, 16, rate_qps=20.0, duration_ms=5000.0)
+    for run in (small, large):
+        assert run["rejected"] == 0
+        assert run["completed"] + run["failed"] == run["admitted"]
+        assert 0 < run["machines_materialized"] <= run["machines"]
+    # 64 concurrent sessions may occupy all 50 small-shape machines,
+    # but a 500-machine fleet must stay mostly unbuilt.
+    assert large["machines_materialized"] < large["machines"]
+    assert (large["host_ms_per_query"]
+            <= FLEET_HOST_COST_RATIO_BOUND
+            * max(small["host_ms_per_query"], 0.001))
 
 
 def main():
@@ -164,6 +361,27 @@ def main():
               f"{run['queue_wait_p95_ms'] / 1000.0:>10.2f} "
               f"{run['response_p50_ms'] / 1000.0:>10.2f} "
               f"{run['response_p95_ms'] / 1000.0:>10.2f}")
+    fleet = report.get("fleet")
+    if fleet:
+        print(f"\nfleet (conc={fleet['max_concurrent']}, "
+              f"candidates={fleet['placement_candidates']}, "
+              f"degree={fleet['degree']})")
+        print(f"{'machines':>8} {'sites':>5} {'admitted':>8} "
+              f"{'completed':>9} {'wall s':>8} {'ms/query':>8} "
+              f"{'built':>6}")
+        for run in fleet["runs"]:
+            print(f"{run['machines']:>8} {run['sites']:>5} "
+                  f"{run['admitted']:>8} {run['completed']:>9} "
+                  f"{run['wall_clock_s']:>8.1f} "
+                  f"{run['host_ms_per_query']:>8.3f} "
+                  f"{run['machines_materialized']:>6}")
+        print(f"host cost ratio 100->1000: {fleet['host_cost_ratio']} "
+              f"(bound {fleet['host_cost_ratio_bound']})")
+        conv = fleet["convergence"]
+        print(f"convergence at {conv['machines']}: "
+              f"adaptations={conv['adaptations_accepted']} "
+              f"perturbed share={conv['perturbed_machine_share']} "
+              f"converged={conv['converged']}")
 
 
 if __name__ == "__main__":

@@ -198,6 +198,15 @@ class FaultToleranceConfig:
     #: behaviour) recovers without limit; ``0`` fails on the first
     #: machine death.
     max_recoveries: int | None = None
+    #: Whether heartbeat monitoring coalesces every watched query into
+    #: one shared timer wheel per GDQS (one tick per interval for the
+    #: whole query population) instead of a dedicated per-query timer.
+    #: For non-overlapping queries the wheel is event-for-event the
+    #: per-query monitor; overlapping queries share the wheel's phase,
+    #: which can shift a detection by less than one heartbeat interval
+    #: (both modes are individually deterministic).  False keeps the
+    #: legacy per-query monitors as the A/B reference.
+    heartbeat_wheel: bool = True
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval_ms <= 0:
@@ -281,6 +290,14 @@ class SchedulerConfig:
     breaker_window_ms: float = 30000.0
     #: Time an open breaker waits before half-opening one probe.
     breaker_cooldown_ms: float = 60000.0
+    #: Candidate budget for load-aware placement: the scheduler hands
+    #: the optimizer only the ``placement_candidates`` least-loaded
+    #: machines (plus any breaker-tripped stragglers) instead of the
+    #: whole fleet's ordering.  ``None`` (default) emits the full
+    #: order — bit-identical to the legacy sort-everything path; an
+    #: integer bounds per-placement work for fleet-scale grids and
+    #: must cover the largest parallelism degree submitted.
+    placement_candidates: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -312,6 +329,11 @@ class SchedulerConfig:
         if self.breaker_window_ms <= 0 or self.breaker_cooldown_ms <= 0:
             raise ConfigurationError(
                 "breaker window and cooldown must be positive")
+        if (self.placement_candidates is not None
+                and self.placement_candidates < 1):
+            raise ConfigurationError(
+                f"placement_candidates must be >= 1 or None: "
+                f"{self.placement_candidates}")
 
     @property
     def resilient(self) -> bool:

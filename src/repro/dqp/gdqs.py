@@ -194,6 +194,14 @@ class GDQS(GridService):
         self.fault_tolerance = fault_tolerance or FaultToleranceConfig()
         self._query_counter = 0
         self._heartbeats: dict[str, float] = {}
+        #: Heartbeat wheel state: queries under watch (query_id ->
+        #: [handle, runtime, started, suspected]) and whether the one
+        #: shared tick process is live.  The wheel exits whenever the
+        #: watch list drains and is respawned by the next FT submit,
+        #: so an idle GDQS schedules no timer events at all.
+        self._watched: dict[str, list] = {}
+        self._wheel_running = False
+        self._wheel_activations = 0
         self.failures_recovered = 0
         self.clones_quarantined = 0
         self.clones_reintegrated = 0
@@ -258,8 +266,11 @@ class GDQS(GridService):
         self.env.process(self._orchestrate(handle, runtime),
                          name=f"gdqs:orchestrate:{query_id}")
         if self.fault_tolerance.enabled:
-            self.env.process(self._monitor_failures(handle, runtime),
-                             name=f"gdqs:monitor:{query_id}")
+            if self.fault_tolerance.heartbeat_wheel:
+                self._watch(handle, runtime)
+            else:
+                self.env.process(self._monitor_failures(handle, runtime),
+                                 name=f"gdqs:monitor:{query_id}")
         return handle
 
     def _orchestrate(self, handle: QueryHandle,
@@ -356,7 +367,72 @@ class GDQS(GridService):
 
     def _monitor_failures(self, handle: QueryHandle,
                           runtime: QueryRuntime) -> typing.Generator:
-        """Watch heartbeats and grade silence: suspect, then dead.
+        """Per-query heartbeat monitor (legacy A/B reference path).
+
+        One timer process per fault-tolerant query; selected with
+        ``FaultToleranceConfig.heartbeat_wheel = False``.  The silence
+        grading itself lives in :meth:`_check_round`, shared with the
+        coalesced wheel, so the two paths cannot drift.
+        """
+        ft = self.fault_tolerance
+        started = self.env.now
+        suspected: dict[str, list[int]] = {}
+        while not handle.done.triggered:
+            yield self.env.timeout(ft.heartbeat_interval_ms)
+            if handle.done.triggered:
+                return
+            stop = yield from self._check_round(handle, runtime, started,
+                                                suspected)
+            if stop:
+                return
+
+    def _watch(self, handle: QueryHandle, runtime: QueryRuntime) -> None:
+        """Enrol a query with the shared heartbeat wheel.
+
+        The wheel coalesces every fault-tolerant query's monitor into
+        one tick process per GDQS: each tick is a single timer event
+        regardless of how many queries are in flight, where the legacy
+        path schedules one timer *per query* per interval.  For
+        non-overlapping queries the wheel is event-for-event identical
+        to the legacy monitor (same tick count, one process spawn per
+        idle-period activation); overlapping queries share the first
+        query's tick phase, which can shift failure detection by less
+        than one interval — still fully deterministic, and covered by
+        the resilience property suite's reproducibility checks.
+        """
+        self._watched[handle.query_id] = [handle, runtime, self.env.now,
+                                          {}]
+        if not self._wheel_running:
+            self._wheel_running = True
+            self._wheel_activations += 1
+            self.env.process(
+                self._run_wheel(),
+                name=f"gdqs:wheel:{self._wheel_activations}")
+
+    def _run_wheel(self) -> typing.Generator:
+        """The shared tick process: one timeout per interval, all
+        watched queries checked in enrolment order."""
+        ft = self.fault_tolerance
+        while self._watched:
+            yield self.env.timeout(ft.heartbeat_interval_ms)
+            for query_id in list(self._watched):
+                entry = self._watched.get(query_id)
+                if entry is None:
+                    continue
+                handle, runtime, started, suspected = entry
+                if handle.done.triggered:
+                    self._watched.pop(query_id, None)
+                    continue
+                stop = yield from self._check_round(handle, runtime,
+                                                    started, suspected)
+                if stop or handle.done.triggered:
+                    self._watched.pop(query_id, None)
+        self._wheel_running = False
+
+    def _check_round(self, handle: QueryHandle, runtime: QueryRuntime,
+                     started: float,
+                     suspected: dict[str, list[int]]) -> typing.Generator:
+        """Grade every participant's heartbeat silence once.
 
         A GQES silent beyond ``failure_timeout_ms`` is dead — its
         evaluators are re-created elsewhere (the pre-existing path).
@@ -366,95 +442,95 @@ class GDQS(GridService):
         feed producers' recovery logs are retained), and if heartbeats
         resume before the failure deadline the clones are reintegrated
         instead of rebuilt.
+
+        Returns True when the query reached a terminal failure and the
+        caller should stop monitoring it; ``suspected`` is the caller's
+        per-query bookkeeping, mutated in place so it survives between
+        rounds (including the wheel's).
         """
         ft = self.fault_tolerance
-        started = self.env.now
-        suspected: dict[str, list[int]] = {}
-        while not handle.done.triggered:
-            yield self.env.timeout(ft.heartbeat_interval_ms)
-            if handle.done.triggered:
-                return
-            for gqes in list(runtime.all_gqes()):
-                if (gqes.name in runtime.failures_handled
-                        or gqes.name == self.name):
-                    continue
-                last_seen = self._heartbeats.get(gqes.name, started)
-                silent_ms = self.env.now - last_seen
-                if silent_ms > ft.failure_timeout_ms:
-                    quarantined = suspected.pop(gqes.name, [])
-                    if (ft.max_recoveries is not None
-                            and runtime.recoveries >= ft.max_recoveries):
-                        self._fail_query(handle, runtime, CAUSE_BUDGET,
-                                         gqes.machine.name)
-                        return
-                    runtime.failures_handled.add(gqes.name)
-                    try:
-                        recovered = yield from self._recover(runtime, gqes)
-                    except ServiceError:
-                        # A control peer was unreachable mid-recovery;
-                        # retry on a later monitor tick.  The suspect
-                        # bookkeeping must survive the retry, or the
-                        # quarantined clone indices would be lost and
-                        # the eventual recovery would leave the rebuilt
-                        # clones starved at weight zero.
-                        runtime.failures_handled.discard(gqes.name)
-                        if quarantined:
-                            suspected[gqes.name] = quarantined
-                        self.context.tracer.record(
-                            "failure", self.name,
-                            "recovery attempt failed; will retry",
-                            failed=gqes.name)
-                        continue
-                    except PlanningError:
-                        self._fail_query(handle, runtime,
-                                         CAUSE_NO_REPLACEMENT,
-                                         gqes.machine.name)
-                        return
-                    if not recovered:
-                        # A data host or the coordinator died: their
-                        # state is not reconstructible from recovery
-                        # logs, so the query cannot make progress.
-                        self._fail_query(handle, runtime,
-                                         CAUSE_UNRECOVERABLE,
-                                         gqes.machine.name)
-                        return
-                    # The replacement starts healthy: lift any
-                    # quarantine the suspect phase imposed, else the
-                    # rebuilt clones would never receive work.
-                    self._reintegrate_clones(runtime, quarantined)
-                    continue
-                if (ft.suspect_timeout_ms is None
-                        or runtime.responder is None
-                        or runtime.responder.crashed):
-                    continue
-                compute_id = runtime.plan.compute.subplan_id
-                if silent_ms > ft.suspect_timeout_ms:
-                    if gqes.name in suspected:
-                        continue
-                    indices = sorted(
-                        fragment.instance_index
-                        for fragment in gqes.fragments.values()
-                        if fragment.subplan_id == compute_id)
-                    if not indices:
-                        continue
-                    suspected[gqes.name] = indices
-                    self.clones_quarantined += len(indices)
+        for gqes in list(runtime.all_gqes()):
+            if (gqes.name in runtime.failures_handled
+                    or gqes.name == self.name):
+                continue
+            last_seen = self._heartbeats.get(gqes.name, started)
+            silent_ms = self.env.now - last_seen
+            if silent_ms > ft.failure_timeout_ms:
+                quarantined = suspected.pop(gqes.name, [])
+                if (ft.max_recoveries is not None
+                        and runtime.recoveries >= ft.max_recoveries):
+                    self._fail_query(handle, runtime, CAUSE_BUDGET,
+                                     gqes.machine.name)
+                    return True
+                runtime.failures_handled.add(gqes.name)
+                try:
+                    recovered = yield from self._recover(runtime, gqes)
+                except ServiceError:
+                    # A control peer was unreachable mid-recovery;
+                    # retry on a later monitor tick.  The suspect
+                    # bookkeeping must survive the retry, or the
+                    # quarantined clone indices would be lost and
+                    # the eventual recovery would leave the rebuilt
+                    # clones starved at weight zero.
+                    runtime.failures_handled.discard(gqes.name)
+                    if quarantined:
+                        suspected[gqes.name] = quarantined
                     self.context.tracer.record(
-                        "failure", self.name, "gqes suspect",
-                        gqes=gqes.name, silent_ms=round(silent_ms, 1),
-                        instances=indices)
-                    for index in indices:
-                        self.env.process(
-                            runtime.responder.quarantine(compute_id, index),
-                            name=f"gdqs:quarantine:{gqes.name}:{index}")
-                elif gqes.name in suspected:
-                    # Heartbeats resumed before the failure deadline.
-                    indices = suspected.pop(gqes.name)
-                    self.clones_reintegrated += len(indices)
-                    self.context.tracer.record(
-                        "failure", self.name, "gqes recovered from suspect",
-                        gqes=gqes.name, instances=indices)
-                    self._reintegrate_clones(runtime, indices)
+                        "failure", self.name,
+                        "recovery attempt failed; will retry",
+                        failed=gqes.name)
+                    continue
+                except PlanningError:
+                    self._fail_query(handle, runtime,
+                                     CAUSE_NO_REPLACEMENT,
+                                     gqes.machine.name)
+                    return True
+                if not recovered:
+                    # A data host or the coordinator died: their
+                    # state is not reconstructible from recovery
+                    # logs, so the query cannot make progress.
+                    self._fail_query(handle, runtime,
+                                     CAUSE_UNRECOVERABLE,
+                                     gqes.machine.name)
+                    return True
+                # The replacement starts healthy: lift any
+                # quarantine the suspect phase imposed, else the
+                # rebuilt clones would never receive work.
+                self._reintegrate_clones(runtime, quarantined)
+                continue
+            if (ft.suspect_timeout_ms is None
+                    or runtime.responder is None
+                    or runtime.responder.crashed):
+                continue
+            compute_id = runtime.plan.compute.subplan_id
+            if silent_ms > ft.suspect_timeout_ms:
+                if gqes.name in suspected:
+                    continue
+                indices = sorted(
+                    fragment.instance_index
+                    for fragment in gqes.fragments.values()
+                    if fragment.subplan_id == compute_id)
+                if not indices:
+                    continue
+                suspected[gqes.name] = indices
+                self.clones_quarantined += len(indices)
+                self.context.tracer.record(
+                    "failure", self.name, "gqes suspect",
+                    gqes=gqes.name, silent_ms=round(silent_ms, 1),
+                    instances=indices)
+                for index in indices:
+                    self.env.process(
+                        runtime.responder.quarantine(compute_id, index),
+                        name=f"gdqs:quarantine:{gqes.name}:{index}")
+            elif gqes.name in suspected:
+                # Heartbeats resumed before the failure deadline.
+                indices = suspected.pop(gqes.name)
+                self.clones_reintegrated += len(indices)
+                self.context.tracer.record(
+                    "failure", self.name, "gqes recovered from suspect",
+                    gqes=gqes.name, instances=indices)
+                self._reintegrate_clones(runtime, indices)
+        return False
 
     def _reintegrate_clones(self, runtime: QueryRuntime,
                             indices: typing.Sequence[int]) -> None:

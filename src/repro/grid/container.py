@@ -103,12 +103,31 @@ class GridContext:
         return victims
 
     def add_machine(self, name: str, speed: float | SpeedFunction = 1.0,
-                    compute: bool = True, spare: bool = False) -> Machine:
-        """Create and register a machine in one step."""
-        machine = Machine(self.env, name, speed=speed,
-                          rng=self.random.stream(f"machine:{name}"),
-                          metrics=self.metrics)
-        self.registry.add_machine(machine, compute=compute, spare=spare)
+                    compute: bool = True, spare: bool = False,
+                    site: str | None = None,
+                    lazy: bool = False) -> Machine | None:
+        """Create and register a machine in one step.
+
+        With ``lazy`` the machine is registered as a spec and only
+        built on first access (placement, fault injection, direct
+        lookup) — a fleet of mostly-idle machines costs nothing at
+        startup.  Laziness is invisible to determinism: the machine's
+        RNG is the named stream ``machine:{name}``, derived purely
+        from the master seed, so *when* the machine is built cannot
+        change any draw.  Returns the machine, or None when lazy.
+        """
+        def build() -> Machine:
+            return Machine(self.env, name, speed=speed,
+                           rng=self.random.stream(f"machine:{name}"),
+                           metrics=self.metrics)
+
+        if lazy:
+            self.registry.add_machine_spec(name, build, compute=compute,
+                                           spare=spare, site=site)
+            return None
+        machine = build()
+        self.registry.add_machine(machine, compute=compute, spare=spare,
+                                  site=site)
         return machine
 
     def machine(self, name: str) -> Machine:

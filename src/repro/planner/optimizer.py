@@ -38,12 +38,69 @@ from repro.planner.physical import (
 _query_ids = itertools.count(1)
 
 
+def _bounded_pick(registry: ResourceRegistry,
+                  data_hosts: set[str], coordinator: str, degree: int,
+                  machine_order: typing.Sequence[str],
+                  exclude: typing.Container[str]) -> list[str] | None:
+    """Bounded walk: the first ``degree`` valid preferred machines.
+
+    Walks ``machine_order`` collecting names that survive every filter
+    of the reference path below — registered compute, not crashed, not
+    excluded, not a data host or the coordinator.  If ``degree`` names
+    are collected the result equals the reference result exactly:
+
+    * the reference ranks listed machines first, in list order, and
+      unlisted ones after them, so its first ``degree`` entries are
+      the first ``degree`` listed survivors — precisely this walk;
+    * every collected name is in the reference's ``preferred`` (and
+      ``spared``) subsets, so neither of its emptiness fallbacks (use
+      all candidates / waive the blacklist) can have fired.
+
+    Returns None — caller falls back to the reference path — whenever
+    the walk cannot prove equivalence: too few listed survivors, or a
+    duplicated name (the reference ranks duplicates by their *last*
+    occurrence).  Cost is O(walked prefix), independent of fleet size,
+    and crash checks use :meth:`~ResourceRegistry.peek` so the walk
+    never materializes a lazy machine it then rejects.
+    """
+    chosen: list[str] = []
+    seen: set[str] = set()
+    for name in machine_order:
+        if name in seen:
+            return None
+        seen.add(name)
+        if not registry.is_compute(name):
+            continue
+        machine = registry.peek(name)
+        if machine is not None and machine.is_crashed:
+            continue
+        if name in exclude:
+            continue
+        if name in data_hosts or name == coordinator:
+            continue
+        chosen.append(name)
+        if len(chosen) == degree:
+            return chosen
+    return None
+
+
 def _pick_compute_machines(registry: ResourceRegistry,
                            data_hosts: set[str], coordinator: str,
                            degree: int | None,
                            machine_order: typing.Sequence[str] | None = None,
                            exclude: typing.Container[str] = ()
                            ) -> list[str]:
+    if degree is not None and degree >= 1:
+        # With no caller preference the reference path keeps registry
+        # order, so the walk over ``compute_machines()`` is the same
+        # prefix — lazy fleets then materialize only the ``degree``
+        # machines actually placed.
+        walk = (machine_order if machine_order is not None
+                else registry.compute_machines())
+        fast = _bounded_pick(registry, data_hosts, coordinator, degree,
+                             walk, exclude)
+        if fast is not None:
+            return fast
     # Permanently crashed machines are not resources: deploying a
     # fragment there would park its dispatch behind a closed CPU gate
     # forever.  ``exclude`` additionally blacklists machines the

@@ -28,7 +28,9 @@ import typing
 #: corpus is only reproducible against the grammar that generated it.
 #: v2 added the ``columnar`` axis (columnar vs legacy row plane).
 #: v3 added the ``crash`` chaos kind (permanent machine loss).
-GRAMMAR_VERSION = 3
+#: v4 added the ``fleet`` axis (multi-site grids with lazy machines
+#: and a capped parallelism degree), drawn after chaos.
+GRAMMAR_VERSION = 4
 
 #: Adaptivity pacing profiles by name.  ``paper`` keeps the paper's
 #: conservative defaults (one adaptation per run); ``twitchy`` is the
@@ -123,6 +125,12 @@ class Scenario:
     perturbations: tuple = ()
     chaos: ChaosRule | None = None
     fault_tolerance: bool = False
+    #: Fleet shape (v4): compute sites, lazy machine registration and
+    #: the plan's parallelism degree (None = use the whole pool).
+    #: Defaults reproduce every pre-v4 scenario unchanged.
+    sites: int = 1
+    lazy_machines: bool = False
+    degree: int | None = None
     rules: tuple = ()
 
     @property
@@ -210,6 +218,13 @@ _PERTURB_KINDS = {
            ("machine-load", "machine-load")),
     "Q2": (("join-sleep", "join-sleep"), ("machine-load", "machine-load")),
 }
+#: Fleet shapes: (machines, sites).  ``none`` keeps the scenario's
+#: drawn machine count on the legacy flat single-site grid; the fleet
+#: shapes override it with a larger lazily-registered multi-site pool
+#: and cap the plan degree at 2 so placement exercises the site tier
+#: without exploding per-scenario runtime.
+_FLEETS = (("none", None), ("16x4", (16, 4)), ("64x8", (64, 8)))
+_FLEET_DEGREE = 2
 _CHAOS_KINDS = {
     "Q1": (("none", None), ("lossy", "lossy"), ("laggy", "laggy"),
            ("freeze", "freeze"), ("crash", "crash"),
@@ -227,6 +242,10 @@ DEFAULT_WEIGHTS = {
     # The legacy row plane is contractually bit-identical to the
     # columnar one, so it needs coverage but not half the corpus.
     "columnar:off": 0.5,
+    # Fleet scenarios are slower (bigger grids); most of the corpus
+    # stays on the small grids where the failure modes historically
+    # live, with steady minority coverage of the site tier.
+    "fleet:none": 4.0,
 }
 
 
@@ -316,6 +335,11 @@ class ScenarioGrammar:
         perturbations = tuple(self._perturbation(rng, query, chosen)
                               for _ in range(count))
         chaos = self._chaos(rng, query, chosen)
+        fleet = self._pick(rng, "fleet", _FLEETS, chosen)
+        sites, lazy, degree = 1, False, None
+        if fleet is not None:
+            machines, sites = fleet
+            lazy, degree = True, _FLEET_DEGREE
         # Freezes stall heartbeats and crashes silence them forever;
         # both only make sense with the fault-tolerance machinery on,
         # so those rules imply it.
@@ -328,4 +352,6 @@ class ScenarioGrammar:
             batch_size=batch, columnar=columnar,
             policy=policy, pacing=pacing,
             perturbations=perturbations, chaos=chaos,
-            fault_tolerance=fault_tolerance, rules=tuple(chosen))
+            fault_tolerance=fault_tolerance,
+            sites=sites, lazy_machines=lazy, degree=degree,
+            rules=tuple(chosen))

@@ -61,7 +61,9 @@ def grid_spec(scenario: Scenario) -> DemoGridSpec:
         compute_machines=scenario.compute_machines,
         sequences_cardinality=scenario.sequences,
         interactions_cardinality=scenario.interactions,
-        seed=scenario.world_seed)
+        seed=scenario.world_seed,
+        sites=scenario.sites,
+        lazy_machines=scenario.lazy_machines)
 
 
 def adaptivity_for(scenario: Scenario) -> AdaptivityConfig:
@@ -181,7 +183,8 @@ def _run(scenario: Scenario, batch_size: int | None = None,
     apply_perturbations(grid, scenario)
     try:
         result = grid.run(_QUERIES[scenario.query],
-                          adaptivity_for(scenario))
+                          adaptivity_for(scenario),
+                          degree=scenario.degree)
     except QueryFailedError as exc:
         # A typed failure is a clean terminal outcome, not a probe
         # error: digest the failed run so determinism and availability

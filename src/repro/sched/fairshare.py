@@ -23,6 +23,13 @@ than being re-implemented in the scheduler.
 
 A single admitted session holds the only shares and the only CPU
 demand, so it is bit-for-bit the single-tenant system.
+
+Placement ordering is served by an incrementally-maintained
+:class:`~repro.sched.fleet.FleetIndex` (least-loaded site, then
+least-loaded machine within it), updated on the same admit/release
+deltas that charge the shares — never recomputed by walking the
+fleet.  :meth:`least_loaded_order` survives unchanged as the O(n log n)
+reference implementation the equivalence tests pin the index against.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import typing
 
 from repro.grid.registry import ResourceRegistry
+from repro.sched.fleet import FleetIndex
 from repro.sched.session import QuerySession
 
 
@@ -42,19 +50,36 @@ class FairShare:
         self.registry = registry
         self.session_weight = session_weight
         self.machine_capacity = machine_capacity
-        for machine in registry.machines():
+        # Capacity applies to machines as they exist: already-built
+        # ones now, lazy ones at materialization (walking specs here
+        # would defeat lazy instantiation by building the whole fleet).
+        for machine in registry.materialized_machines():
             machine.capacity = machine_capacity
+        registry.on_materialize(self._on_materialize)
+        self.index = FleetIndex(registry)
+
+    def _on_materialize(self, machine) -> None:
+        machine.capacity = self.machine_capacity
+
+    def _charge(self, name: str, session_id: str, weight: float) -> None:
+        machine = self.registry.machine(name)
+        machine.acquire_share(session_id, weight)
+        # Re-read the ledger sum rather than applying a delta: the
+        # index key is then the exact float the legacy sort reads,
+        # with no incremental drift.
+        self.index.update(name, machine.committed_shares)
 
     def admit(self, session: QuerySession) -> None:
         """Charge the session's shares on every machine it occupies."""
         for name in session.machines:
-            self.registry.machine(name).acquire_share(
-                session.session_id, self.session_weight)
+            self._charge(name, session.session_id, self.session_weight)
 
     def release(self, session: QuerySession) -> None:
         """Return the session's shares (idempotent)."""
         for name in session.machines:
-            self.registry.machine(name).release_share(session.session_id)
+            machine = self.registry.machine(name)
+            machine.release_share(session.session_id)
+            self.index.update(name, machine.committed_shares)
 
     def load(self, machine_name: str) -> float:
         """Shares currently committed on ``machine_name``."""
@@ -72,3 +97,14 @@ class FairShare:
         indexed = list(enumerate(candidates))
         indexed.sort(key=lambda pair: (self.load(pair[1]), pair[0]))
         return [name for _index, name in indexed]
+
+    def placement_order(self, limit: int | None = None) -> list[str]:
+        """Index-backed placement preference over compute machines.
+
+        Least-loaded site first, then least-loaded machine within each
+        site; crashed machines are skipped.  With a single site this
+        is bit-identical to ``least_loaded_order`` over the
+        crash-filtered compute pool (the property suite pins it);
+        ``limit`` bounds the emitted candidates for large fleets.
+        """
+        return self.index.order(limit=limit)

@@ -13,6 +13,15 @@ where every machine has tripped still schedules work (degraded but
 live beats idle).  All bookkeeping is plain dictionary state — no
 simulator events are ever scheduled, so an always-on breaker is free
 when no failures occur and the no-chaos timeline stays bit-identical.
+
+Placement steering is O(1) over the fleet in the healthy case: the
+*unhealthy set* — machines whose breakers are open or cooling toward
+half-open — is maintained incrementally on the record-failure /
+record-success transitions instead of being recomputed by walking
+every machine per placement.  ``is_open`` remains time-dependent
+(cooldowns elapse without an event), so the set is a conservative
+superset of the currently-open machines; callers consult it first
+and only evaluate ``is_open`` for its members.
 """
 
 from __future__ import annotations
@@ -37,6 +46,13 @@ class MachineHealth:
         self._opened_at: dict[str, float] = {}
         #: Probe queries placed on a half-open machine.
         self._probes: dict[str, int] = {}
+        #: Machines with a tripped (open or cooling) breaker — kept in
+        #: lockstep with ``_opened_at`` on every transition, so the
+        #: no-failure placement path checks one empty set instead of
+        #: calling ``is_open`` per machine.  Superset of currently-open
+        #: (a cooldown may have elapsed); members are re-graded with
+        #: ``is_open`` at use.
+        self._unhealthy: set[str] = set()
         self.breakers_opened = 0
         self.breakers_closed = 0
 
@@ -66,18 +82,43 @@ class MachineHealth:
 
     def open_machines(self) -> tuple[str, ...]:
         """Machines currently steering placement away, sorted."""
-        return tuple(sorted(name for name in self._opened_at
+        return tuple(sorted(name for name in self._unhealthy
                             if self.is_open(name)))
+
+    def unhealthy_names(self) -> frozenset[str]:
+        """Machines whose breaker is open *or* cooling (a superset of
+        the currently-open set — see the module docstring).  Empty in
+        the no-failure steady state, making steering free."""
+        return frozenset(self._unhealthy)
+
+    def site_rollup(self, site_of) -> dict[str, int]:
+        """Open-breaker count per site (``site_of``: name -> site).
+
+        Iterates only the unhealthy set, so the rollup is O(tripped),
+        not O(fleet) — the site-tier health summary of the two-level
+        monitoring topology.
+        """
+        rollup: dict[str, int] = {}
+        for name in self._unhealthy:
+            if self.is_open(name):
+                site = site_of(name)
+                rollup[site] = rollup.get(site, 0) + 1
+        return rollup
 
     # -- event recording -------------------------------------------------
 
     def note_placement(self, machines) -> None:
         """Record that a query was placed on ``machines``.
 
-        Half-open machines count the placement as their probe.
+        Half-open machines count the placement as their probe.  With
+        no breakers tripped this is a single set check regardless of
+        placement width.
         """
+        if not self._unhealthy:
+            return
         for name in machines:
-            if self.state(name) == STATE_HALF_OPEN:
+            if (name in self._unhealthy
+                    and self.state(name) == STATE_HALF_OPEN):
                 self._probes[name] = self._probes.get(name, 0) + 1
 
     def record_failure(self, machine: str) -> None:
@@ -94,6 +135,7 @@ class MachineHealth:
         if len(window) >= self.threshold:
             self._failures.pop(machine, None)
             self._opened_at[machine] = now
+            self._unhealthy.add(machine)
             self.breakers_opened += 1
         else:
             self._failures[machine] = window
@@ -111,6 +153,7 @@ class MachineHealth:
         if self._probes.get(machine, 0) <= 0:
             return
         self._opened_at.pop(machine, None)
+        self._unhealthy.discard(machine)
         self._probes.pop(machine, None)
         self._failures.pop(machine, None)
         self.breakers_closed += 1

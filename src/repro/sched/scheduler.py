@@ -113,9 +113,14 @@ class QueryScheduler:
         self.peak_queue_depth = 0
         self._session_counter = 0
         self._created_at = self.env.now
+        # Baselines and per-machine gauges cover machines as they
+        # exist: already-built ones now, lazy ones at materialization
+        # (walking the spec list would build the whole fleet up
+        # front).  A machine built later never ran before it existed,
+        # so its implied baseline is its creation-time busy time.
         self._cpu_baseline = {
             machine.name: machine.cpu.busy_time
-            for machine in self.context.registry.machines()}
+            for machine in self.context.registry.materialized_machines()}
         metrics = self.context.metrics
         self._metric_admitted = metrics.counter("sched_admitted")
         self._metric_rejected = metrics.counter("sched_rejected")
@@ -127,10 +132,30 @@ class QueryScheduler:
         self._metric_mttr = metrics.histogram("sched_mttr_ms")
         self._metric_queue_depth = metrics.series("sched_queue_depth")
         metrics.gauge("sched_availability", fn=self._availability)
-        for machine in self.context.registry.machines():
-            metrics.gauge("sched_capacity_pressure",
-                          fn=machine.contention_factor,
-                          machine=machine.name)
+        for machine in self.context.registry.materialized_machines():
+            self._register_machine_gauge(machine)
+        self.context.registry.on_materialize(self._on_materialize)
+        if self.health is not None:
+            # Site-tier health summary: open-breaker count per site,
+            # computed from the incrementally-maintained unhealthy set
+            # (O(tripped), never O(fleet)).  Callback gauges are read
+            # only at snapshot time — the zero-cost metrics invariant.
+            registry = self.context.registry
+            for site in registry.sites():
+                metrics.gauge(
+                    "sched_site_breakers_open",
+                    fn=lambda site=site: self.health.site_rollup(
+                        registry.site_of).get(site, 0),
+                    site=site)
+
+    def _register_machine_gauge(self, machine) -> None:
+        self.context.metrics.gauge("sched_capacity_pressure",
+                                   fn=machine.contention_factor,
+                                   machine=machine.name)
+
+    def _on_materialize(self, machine) -> None:
+        self._cpu_baseline[machine.name] = machine.cpu.busy_time
+        self._register_machine_gauge(machine)
 
     # -- submission ------------------------------------------------------
 
@@ -191,19 +216,33 @@ class QueryScheduler:
     def _machine_order(self) -> list[str] | None:
         if self.fair_share is None or not self.config.load_aware_placement:
             return None
-        registry = self.context.registry
-        pool = [name for name in registry.compute_machines()
-                if not registry.machine(name).is_crashed]
-        order = self.fair_share.least_loaded_order(pool)
+        # The fleet index maintains the least-loaded (site, machine)
+        # order incrementally on admit/release deltas, so emitting the
+        # preference costs O(candidates), not a per-placement sort of
+        # the whole fleet.  With a candidate budget configured, fetch
+        # enough extras to survive the breaker partition below pushing
+        # tripped machines behind the budget line.
+        limit = self.config.placement_candidates
+        maybe_open: frozenset = frozenset()
         if self.health is not None:
+            maybe_open = self.health.unhealthy_names()
+            if limit is not None and maybe_open:
+                limit += len(maybe_open)
+        order = self.fair_share.placement_order(limit=limit)
+        if maybe_open:
             # Stable partition: breaker-open machines sort last, the
             # least-loaded order is preserved inside each partition.
-            # With no failures recorded this is the identity, so the
-            # no-chaos event timeline is untouched.
-            healthy = [name for name in order
-                       if not self.health.is_open(name)]
-            tripped = [name for name in order if self.health.is_open(name)]
-            order = healthy + tripped
+            # Only the incrementally-maintained unhealthy set is
+            # re-graded — machines outside it are closed by
+            # construction — so the no-failure path skips this block
+            # entirely and the no-chaos event timeline is untouched.
+            tripped_now = {name for name in maybe_open
+                           if self.health.is_open(name)}
+            if tripped_now:
+                healthy = [name for name in order
+                           if name not in tripped_now]
+                tripped = [name for name in order if name in tripped_now]
+                order = healthy + tripped
         return order
 
     def _start(self, session: QuerySession) -> None:
@@ -420,7 +459,10 @@ class QueryScheduler:
         elapsed = self.env.now - self._created_at
         utilisation = {}
         if elapsed > 0:
-            for machine in self.context.registry.machines():
+            # Materialized machines only: a lazy machine no query ever
+            # touched has no CPU history worth reporting (and walking
+            # the unbuilt fleet would materialize it just to say 0.0).
+            for machine in self.context.registry.materialized_machines():
                 busy = (machine.cpu.busy_time
                         - self._cpu_baseline[machine.name])
                 utilisation[machine.name] = min(1.0, busy / elapsed)

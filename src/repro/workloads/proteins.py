@@ -96,6 +96,21 @@ class DemoGridSpec:
     ws_base_work_ms: float = 4.6
     #: Standby machines available to failure recovery.
     spare_machines: int = 0
+    #: Compute-machine sites for the two-tier scheduler topology.
+    #: ``1`` keeps the legacy flat registration (machines land in the
+    #: registry's implicit default site); ``k > 1`` splits the compute
+    #: pool into k contiguous blocks named ``site-1`` .. ``site-k``.
+    sites: int = 1
+    #: Register compute machines as lazy specs: a machine is built on
+    #: first placement (or fault injection) rather than at grid
+    #: construction, so a 1,000-machine fleet costs nothing until
+    #: queries actually land on it.  Machine RNG streams are derived
+    #: by name, so materialization order cannot change behaviour.
+    lazy_machines: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sites < 1:
+            raise ValueError(f"sites must be >= 1: {self.sites}")
 
 
 class DemoGrid:
@@ -123,8 +138,12 @@ class DemoGrid:
         self.compute_machines = [
             compute_machine_name(i)
             for i in range(self.spec.compute_machines)]
-        for name in self.compute_machines:
-            self.context.add_machine(name)
+        per_site = -(-self.spec.compute_machines // self.spec.sites)
+        for i, name in enumerate(self.compute_machines):
+            site = (f"site-{i // per_site + 1}"
+                    if self.spec.sites > 1 else None)
+            self.context.add_machine(name, site=site,
+                                     lazy=self.spec.lazy_machines)
         self.spare_machines = [f"spare-{i + 1}"
                                for i in range(self.spec.spare_machines)]
         for name in self.spare_machines:
